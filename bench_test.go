@@ -1,0 +1,153 @@
+// Benchmarks regenerating the paper's tables and figures, one benchmark
+// per experiment. Each iteration runs a bounded version of the experiment
+// (single seed, highest-churn rate, sometimes a reduced workload scale) so
+// `go test -bench=.` finishes in minutes; `cmd/moonbench` runs the full
+// sweeps and prints the paper-layout tables.
+//
+// The interesting output is the custom metrics: each benchmark reports the
+// headline comparison of its figure (e.g. the MOON-vs-Hadoop speedup) so a
+// benchmark run doubles as a shape check against the paper.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// benchConfig bounds an experiment for benchmarking.
+func benchConfig(scale int, rates ...float64) harness.Config {
+	cfg := harness.DefaultConfig()
+	cfg.Seeds = []uint64{1}
+	cfg.Scale = scale
+	cfg.Rates = rates
+	return cfg
+}
+
+// BenchmarkFig1Trace regenerates the 7-day diurnal availability study.
+func BenchmarkFig1Trace(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		days := trace.GenerateFig1(rng.New(uint64(i+1)), trace.DefaultFig1Config())
+		sum, n := 0.0, 0
+		for _, d := range days {
+			for _, v := range d.Series {
+				sum += v
+				n++
+			}
+		}
+		avg = sum / float64(n)
+	}
+	b.ReportMetric(avg, "meanUnavail")
+}
+
+// BenchmarkFig4SchedulingSort runs the scheduling-policy comparison on the
+// sort-shaped sleep app at the paper's full task counts, 0.5 unavailability.
+// Reported metric: Hadoop1Min / MOON-Hybrid makespan ratio (paper: ~1.9).
+func BenchmarkFig4SchedulingSort(b *testing.B) {
+	benchFig4(b, "sort")
+}
+
+// BenchmarkFig4SchedulingWordCount is Figure 4(b).
+func BenchmarkFig4SchedulingWordCount(b *testing.B) {
+	benchFig4(b, "wordcount")
+}
+
+func benchFig4(b *testing.B, app string) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		sw, err := benchConfig(1, 0.5).Fig4(app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = sw.Get("Hadoop1Min", 0.5).Makespan / sw.Get("MOON-Hybrid", 0.5).Makespan
+	}
+	b.ReportMetric(ratio, "hadoop1min/moonHybrid")
+}
+
+// BenchmarkFig5DuplicatedTasks reports the duplicated-task reduction of the
+// same sweep (paper: MOON issues ~44% fewer duplicates than Hadoop1Min at
+// 0.5 for sort).
+func BenchmarkFig5DuplicatedTasks(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		sw, err := benchConfig(1, 0.5).Fig4("sort")
+		if err != nil {
+			b.Fatal(err)
+		}
+		h := sw.Get("Hadoop1Min", 0.5).Duplicated
+		m := sw.Get("MOON", 0.5).Duplicated
+		reduction = 1 - m/h
+	}
+	b.ReportMetric(reduction, "dupReductionVsHadoop1Min")
+}
+
+// BenchmarkFig6IntermediateReplicationSort compares volatile-only and
+// hybrid-aware intermediate replication at 0.5 unavailability on a
+// half-scale sort (paper: HA-V1 beats the best VO configuration).
+func BenchmarkFig6IntermediateReplicationSort(b *testing.B) {
+	benchFig6(b, "sort")
+}
+
+// BenchmarkFig6IntermediateReplicationWordCount is Figure 6(b).
+func BenchmarkFig6IntermediateReplicationWordCount(b *testing.B) {
+	benchFig6(b, "wordcount")
+}
+
+func benchFig6(b *testing.B, app string) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		sw, err := benchConfig(2, 0.5).Fig6(app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, bestVO := sw.Best("VO", 0.5)
+		ratio = bestVO.Makespan / sw.Get("HA-V1", 0.5).Makespan
+	}
+	b.ReportMetric(ratio, "bestVO/haV1")
+}
+
+// BenchmarkTable2Profile regenerates the execution-profile table at 0.5
+// unavailability and reports its most diagnostic cell: killed maps under
+// VO-V1 versus HA-V1 (paper: 1389 vs 18.75 — a ~74x collapse).
+func BenchmarkTable2Profile(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		sw, err := benchConfig(2, 0.5).Fig6("sort")
+		if err != nil {
+			b.Fatal(err)
+		}
+		vo := sw.Get("VO-V1", 0.5).KilledMaps
+		ha := sw.Get("HA-V1", 0.5).KilledMaps
+		if ha > 0 {
+			ratio = vo / ha
+		}
+	}
+	b.ReportMetric(ratio, "killedMapsVO1/HA1")
+}
+
+// BenchmarkFig7OverallSort runs the headline comparison: augmented Hadoop
+// (Hadoop-VO) against MOON-Hybrid with 6 dedicated nodes at 0.5
+// unavailability (paper: MOON wins ~3x for sort).
+func BenchmarkFig7OverallSort(b *testing.B) {
+	benchFig7(b, "sort")
+}
+
+// BenchmarkFig7OverallWordCount is Figure 7(b) (paper: ~1.5x).
+func BenchmarkFig7OverallWordCount(b *testing.B) {
+	benchFig7(b, "wordcount")
+}
+
+func benchFig7(b *testing.B, app string) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		sw, err := benchConfig(2, 0.5).Fig7(app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = sw.Get("Hadoop-VO", 0.5).Makespan / sw.Get("MOON-HybridD6", 0.5).Makespan
+	}
+	b.ReportMetric(speedup, "moonSpeedup")
+}

@@ -1,0 +1,156 @@
+// Command moonbench regenerates the tables and figures of the MOON paper
+// (HPDC 2010) on the simulated testbed.
+//
+// Usage:
+//
+//	moonbench -experiment fig4 -app sort
+//	moonbench -experiment all -scale 4 -seeds 1,2,3
+//
+// Experiments: fig1, fig4, fig5, fig6, table2, fig7, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig1|fig4|fig5|fig6|table2|fig7|ablation|all")
+		app        = flag.String("app", "both", "sort|wordcount|both")
+		seeds      = flag.String("seeds", "1", "comma-separated churn seeds to average over")
+		scale      = flag.Int("scale", 1, "divide workload size by this factor (1 = paper scale)")
+		rates      = flag.String("rates", "0.1,0.3,0.5", "comma-separated unavailability rates")
+		ablation   = flag.String("ablation", "homestretch", "homestretch|speccap|hibernate|adaptive")
+		verbose    = flag.Bool("v", false, "print one line per run")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	cfg.Scale = *scale
+	var err error
+	if cfg.Seeds, err = parseSeeds(*seeds); err != nil {
+		fatal(err)
+	}
+	if cfg.Rates, err = parseRates(*rates); err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	apps := []string{"sort", "wordcount"}
+	switch *app {
+	case "both":
+	case "sort", "wordcount":
+		apps = []string{*app}
+	default:
+		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+
+	run := func(name string) bool { return *experiment == name || *experiment == "all" }
+
+	if run("fig1") {
+		if err := harness.Fig1(os.Stdout, cfg.Seeds[0]); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	for _, a := range apps {
+		if run("fig4") || run("fig5") {
+			sw, err := cfg.Fig4(a)
+			if err != nil {
+				fatal(err)
+			}
+			if run("fig4") {
+				must(sw.RenderTimes(os.Stdout))
+				fmt.Println()
+			}
+			if run("fig5") {
+				must(sw.RenderDuplicates(os.Stdout))
+				fmt.Println()
+			}
+		}
+		if run("fig6") || run("table2") {
+			sw, err := cfg.Fig6(a)
+			if err != nil {
+				fatal(err)
+			}
+			if run("fig6") {
+				must(sw.RenderTimes(os.Stdout))
+				fmt.Println()
+			}
+			if run("table2") {
+				must(harness.RenderTable2(os.Stdout, a, sw))
+				fmt.Println()
+			}
+		}
+		if run("fig7") {
+			sw, err := cfg.Fig7(a)
+			if err != nil {
+				fatal(err)
+			}
+			must(sw.RenderTimes(os.Stdout))
+			fmt.Println()
+		}
+		if *experiment == "ablation" {
+			sw, err := cfg.RunAblation(*ablation, a)
+			if err != nil {
+				fatal(err)
+			}
+			must(sw.RenderTimes(os.Stdout))
+			if *ablation == "homestretch" || *ablation == "speccap" {
+				must(sw.RenderDuplicates(os.Stdout))
+			}
+			fmt.Println()
+		}
+		if *experiment == "correlated" {
+			sw, err := cfg.RunCorrelated(a)
+			if err != nil {
+				fatal(err)
+			}
+			must(sw.RenderTimes(os.Stdout))
+			fmt.Println()
+		}
+	}
+}
+
+func parseSeeds(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v < 0 || v >= 1 {
+			return nil, fmt.Errorf("bad rate %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "moonbench:", err)
+	os.Exit(1)
+}

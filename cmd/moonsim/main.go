@@ -1,0 +1,109 @@
+// Command moonsim runs a single MapReduce job on the simulated
+// opportunistic cluster and prints its execution profile.
+//
+// Usage:
+//
+//	moonsim -app sort -policy moon-hybrid -rate 0.5 -dedicated 6
+//	moonsim -app wordcount -policy hadoop -expiry 60 -rate 0.3 -all-volatile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "sort", "sort|wordcount|sleep-sort|sleep-wordcount")
+		policy    = flag.String("policy", "moon-hybrid", "hadoop|moon|moon-hybrid")
+		expiry    = flag.Float64("expiry", 600, "Hadoop TrackerExpiryInterval (seconds)")
+		rate      = flag.Float64("rate", 0.3, "machine-unavailability rate")
+		volatiles = flag.Int("volatile", 60, "volatile node count")
+		dedicated = flag.Int("dedicated", 6, "dedicated node count")
+		allVol    = flag.Bool("all-volatile", false, "treat every machine as volatile (Hadoop baseline)")
+		seed      = flag.Uint64("seed", 1, "churn seed")
+		interD    = flag.Int("inter-d", 1, "intermediate dedicated replicas")
+		interV    = flag.Int("inter-v", 1, "intermediate volatile replicas")
+		scale     = flag.Int("scale", 1, "divide workload size by this factor")
+	)
+	flag.Parse()
+
+	cs := core.ClusterSpec{
+		VolatileNodes:      *volatiles,
+		DedicatedNodes:     *dedicated,
+		UnavailabilityRate: *rate,
+		TreatAllVolatile:   *allVol,
+		Seed:               *seed,
+	}
+	var opts core.Options
+	switch *policy {
+	case "hadoop":
+		opts = core.HadoopPreset(cs, *expiry)
+	case "moon":
+		opts = core.MOONPreset(cs, false)
+	case "moon-hybrid":
+		opts = core.MOONPreset(cs, true)
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	slots := (*volatiles + *dedicated) * 2
+	var w workload.Spec
+	switch *app {
+	case "sort":
+		w = workload.Sort(slots)
+	case "wordcount":
+		w = workload.WordCount()
+	case "sleep-sort":
+		w = workload.SleepApp(workload.Sort(slots))
+	case "sleep-wordcount":
+		w = workload.SleepApp(workload.WordCount())
+	default:
+		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+	w = workload.Scale(w, *scale)
+	w.Job.IntermediateFactor = dfs.Factor{D: *interD, V: *interV}
+
+	s, err := core.NewForWorkload(opts, w)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := s.RunWorkload(w)
+	if err != nil {
+		fatal(err)
+	}
+	p := res.Profile
+	fmt.Printf("job            %s (policy %s, rate %.2f, %dV+%dD, seed %d)\n",
+		p.Job, *policy, *rate, *volatiles, *dedicated, *seed)
+	fmt.Printf("state          %v%s\n", p.State, capped(res.HitHorizon))
+	fmt.Printf("makespan       %.0f s\n", p.Makespan)
+	fmt.Printf("avg map        %.1f s\n", p.AvgMapTime)
+	fmt.Printf("avg shuffle    %.1f s\n", p.AvgShuffleTime)
+	fmt.Printf("avg reduce     %.1f s\n", p.AvgReduceTime)
+	fmt.Printf("killed maps    %d\n", p.KilledMaps)
+	fmt.Printf("killed reduces %d\n", p.KilledReduces)
+	fmt.Printf("duplicated     %d\n", p.DuplicatedTasks)
+	fmt.Printf("invalidations  %d\n", p.MapInvalidations)
+	fmt.Printf("dfs            declines=%d adaptiveRaises=%d hibernations=%d expirations=%d\n",
+		res.DFS.DedicatedDeclines, res.DFS.AdaptiveRaises, res.DFS.Hibernations, res.DFS.Expirations)
+	fmt.Printf("replication    %d transfers, %.2f GB (thrash %d), trimmed %d\n",
+		res.DFS.ReplicationsIssued, res.DFS.ReplicationBytes/1e9, res.DFS.ThrashReplications, res.DFS.TrimmedReplicas)
+	fmt.Printf("read stalls    %d, fetch failures %d\n", res.DFS.ReadStalls, res.DFS.FetchFailures)
+}
+
+func capped(hit bool) string {
+	if hit {
+		return " (hit simulation horizon)"
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "moonsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// BenchmarkFleetTransitions measures churn-event processing for the
+// paper's 60-node fleet over a full 8-hour trace at 0.5 unavailability.
+func BenchmarkFleetTransitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		traces, err := trace.GenerateFleet(rng.New(uint64(i+1)), trace.DefaultOutageConfig(0.5), 8*3600, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := sim.New()
+		c := New(s, Config{VolatileTraces: traces, DedicatedNodes: 6})
+		transitions := 0
+		for _, n := range c.Nodes {
+			n.Watch(func(*Node, bool) { transitions++ })
+		}
+		b.StartTimer()
+		s.RunUntil(8 * 3600)
+		if transitions == 0 {
+			b.Fatal("no transitions fired")
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package cluster models the machines of an opportunistic MapReduce system:
+// a pool of volatile volunteer PCs whose availability follows per-node
+// traces, optionally supplemented (MOON's hybrid architecture) by a small
+// set of dedicated nodes that never go away.
+//
+// A suspended node makes no compute progress, serves no data, and emits no
+// heartbeats, but keeps its disk contents — exactly the semantics the paper
+// assumes for a volunteer PC reclaimed by its owner (e.g. a paused virtual
+// machine). Subsystems subscribe to availability transitions with Watch.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// NodeType distinguishes volunteer PCs from MOON's dedicated anchors.
+type NodeType int
+
+const (
+	// Volatile nodes follow an availability trace.
+	Volatile NodeType = iota
+	// Dedicated nodes are always available.
+	Dedicated
+)
+
+func (t NodeType) String() string {
+	switch t {
+	case Volatile:
+		return "volatile"
+	case Dedicated:
+		return "dedicated"
+	default:
+		return fmt.Sprintf("NodeType(%d)", int(t))
+	}
+}
+
+// Watcher observes a node availability transition.
+type Watcher func(n *Node, available bool)
+
+// Node is one machine. All state changes happen on the simulation thread.
+type Node struct {
+	ID   int
+	Type NodeType
+
+	sim       *sim.Simulation
+	trace     trace.Trace
+	available bool
+	watchers  []Watcher
+
+	// Statistics.
+	suspensions   int
+	lastDownAt    float64
+	totalDownTime float64
+}
+
+// Available reports whether the node is currently up.
+func (n *Node) Available() bool { return n.available }
+
+// IsDedicated is a readability helper for scheduling policies.
+func (n *Node) IsDedicated() bool { return n.Type == Dedicated }
+
+// Suspensions returns how many times the node has gone down so far.
+func (n *Node) Suspensions() int { return n.suspensions }
+
+// DownTime returns accumulated unavailable seconds (through the last
+// completed outage).
+func (n *Node) DownTime() float64 { return n.totalDownTime }
+
+// Watch registers fn to run on every availability transition of this node.
+// Watchers run in registration order, synchronously at the transition
+// instant.
+func (n *Node) Watch(fn Watcher) { n.watchers = append(n.watchers, fn) }
+
+func (n *Node) setAvailable(av bool) {
+	if n.available == av {
+		return
+	}
+	n.available = av
+	if !av {
+		n.suspensions++
+		n.lastDownAt = n.sim.Now()
+	} else {
+		n.totalDownTime += n.sim.Now() - n.lastDownAt
+	}
+	for _, w := range n.watchers {
+		w(n, av)
+	}
+}
+
+// scheduleTransitions walks the node's trace, scheduling suspend/resume
+// events.
+func (n *Node) scheduleTransitions() {
+	if n.Type == Dedicated || len(n.trace.Outages) == 0 {
+		return
+	}
+	for _, iv := range n.trace.Outages {
+		iv := iv
+		n.sim.Schedule(iv.Start, "node.suspend", func() { n.setAvailable(false) })
+		n.sim.Schedule(iv.End, "node.resume", func() { n.setAvailable(true) })
+	}
+}
+
+// Config describes a cluster to build.
+type Config struct {
+	// VolatileTraces supplies one availability trace per volatile node;
+	// the fleet size is len(VolatileTraces).
+	VolatileTraces []trace.Trace
+	// DedicatedNodes is the number of always-on nodes (paper: 3, 4 or 6).
+	DedicatedNodes int
+}
+
+// Cluster is the full machine fleet.
+type Cluster struct {
+	Sim       *sim.Simulation
+	Nodes     []*Node
+	Volatile  []*Node
+	Dedicated []*Node
+}
+
+// New builds a cluster on s per cfg and schedules all availability
+// transitions. Volatile nodes get IDs 0..V-1; dedicated nodes follow.
+func New(s *sim.Simulation, cfg Config) *Cluster {
+	c := &Cluster{Sim: s}
+	for i, tr := range cfg.VolatileTraces {
+		n := &Node{ID: i, Type: Volatile, sim: s, trace: tr, available: tr.AvailableAt(0)}
+		n.scheduleTransitions()
+		// A trace may start inside an outage; reflect that without firing
+		// watchers (none are registered yet).
+		c.Nodes = append(c.Nodes, n)
+		c.Volatile = append(c.Volatile, n)
+	}
+	for d := 0; d < cfg.DedicatedNodes; d++ {
+		n := &Node{ID: len(cfg.VolatileTraces) + d, Type: Dedicated, sim: s, available: true}
+		c.Nodes = append(c.Nodes, n)
+		c.Dedicated = append(c.Dedicated, n)
+	}
+	return c
+}
+
+// NewAllVolatile builds the Hadoop baseline fleet: the same machines as New
+// (volatile + physically-dedicated ones), but every node is typed Volatile
+// and churned by a trace; extraTraces supplies traces for the would-be
+// dedicated machines. This mirrors the paper's Hadoop-VO runs where Hadoop
+// "cannot differentiate between volatile and dedicated".
+func NewAllVolatile(s *sim.Simulation, volatileTraces, extraTraces []trace.Trace) *Cluster {
+	all := make([]trace.Trace, 0, len(volatileTraces)+len(extraTraces))
+	all = append(all, volatileTraces...)
+	all = append(all, extraTraces...)
+	return New(s, Config{VolatileTraces: all})
+}
+
+// AvailableCount returns how many nodes are currently up.
+func (c *Cluster) AvailableCount() int {
+	n := 0
+	for _, node := range c.Nodes {
+		if node.Available() {
+			n++
+		}
+	}
+	return n
+}
+
+// VolatileUnavailableFraction returns the instantaneous fraction of volatile
+// nodes that are down — the quantity the MOON NameNode monitors to estimate
+// the node-unavailability rate p.
+func (c *Cluster) VolatileUnavailableFraction() float64 {
+	if len(c.Volatile) == 0 {
+		return 0
+	}
+	down := 0
+	for _, n := range c.Volatile {
+		if !n.Available() {
+			down++
+		}
+	}
+	return float64(down) / float64(len(c.Volatile))
+}
+
+// Node returns the node with the given ID, or nil.
+func (c *Cluster) Node(id int) *Node {
+	if id < 0 || id >= len(c.Nodes) {
+		return nil
+	}
+	return c.Nodes[id]
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func twoNodeCluster(t *testing.T) (*sim.Simulation, *Cluster) {
+	t.Helper()
+	s := sim.New()
+	traces := []trace.Trace{
+		{Duration: 1000, Outages: []trace.Interval{{Start: 100, End: 200}, {Start: 500, End: 700}}},
+		{Duration: 1000},
+	}
+	return s, New(s, Config{VolatileTraces: traces, DedicatedNodes: 1})
+}
+
+func TestTopology(t *testing.T) {
+	_, c := twoNodeCluster(t)
+	if len(c.Nodes) != 3 || len(c.Volatile) != 2 || len(c.Dedicated) != 1 {
+		t.Fatalf("topology %d/%d/%d", len(c.Nodes), len(c.Volatile), len(c.Dedicated))
+	}
+	if c.Volatile[0].ID != 0 || c.Dedicated[0].ID != 2 {
+		t.Fatalf("IDs misassigned: %d, %d", c.Volatile[0].ID, c.Dedicated[0].ID)
+	}
+	if c.Dedicated[0].Type != Dedicated || !c.Dedicated[0].IsDedicated() {
+		t.Fatal("dedicated node mistyped")
+	}
+	if c.Node(2) != c.Dedicated[0] || c.Node(-1) != nil || c.Node(99) != nil {
+		t.Fatal("Node lookup broken")
+	}
+}
+
+func TestTraceDrivenTransitions(t *testing.T) {
+	s, c := twoNodeCluster(t)
+	n := c.Volatile[0]
+	var log []float64
+	n.Watch(func(_ *Node, av bool) { log = append(log, s.Now()) })
+
+	s.RunUntil(1000)
+	want := []float64{100, 200, 500, 700}
+	if len(log) != len(want) {
+		t.Fatalf("transitions at %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("transition %d at %v, want %v", i, log[i], want[i])
+		}
+	}
+	if n.Suspensions() != 2 {
+		t.Fatalf("suspensions = %d, want 2", n.Suspensions())
+	}
+	if n.DownTime() != 300 {
+		t.Fatalf("downtime = %v, want 300", n.DownTime())
+	}
+}
+
+func TestAvailabilityDuringRun(t *testing.T) {
+	s, c := twoNodeCluster(t)
+	n := c.Volatile[0]
+	s.Schedule(150, "probe", func() {
+		if n.Available() {
+			t.Error("node 0 should be down at t=150")
+		}
+		if c.AvailableCount() != 2 {
+			t.Errorf("AvailableCount = %d at t=150, want 2", c.AvailableCount())
+		}
+		if got := c.VolatileUnavailableFraction(); got != 0.5 {
+			t.Errorf("VolatileUnavailableFraction = %v, want 0.5", got)
+		}
+	})
+	s.Schedule(300, "probe2", func() {
+		if !n.Available() {
+			t.Error("node 0 should be up at t=300")
+		}
+	})
+	s.RunUntil(1000)
+}
+
+func TestDedicatedNeverSuspends(t *testing.T) {
+	s, c := twoNodeCluster(t)
+	d := c.Dedicated[0]
+	d.Watch(func(*Node, bool) { t.Error("dedicated node transitioned") })
+	s.RunUntil(1000)
+	if !d.Available() || d.Suspensions() != 0 {
+		t.Fatal("dedicated node went down")
+	}
+}
+
+func TestWatcherOrderAndIdempotentSet(t *testing.T) {
+	s := sim.New()
+	c := New(s, Config{VolatileTraces: []trace.Trace{{Duration: 10}}})
+	n := c.Volatile[0]
+	var order []int
+	n.Watch(func(*Node, bool) { order = append(order, 1) })
+	n.Watch(func(*Node, bool) { order = append(order, 2) })
+	n.setAvailable(false)
+	n.setAvailable(false) // no-op
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("watcher order %v", order)
+	}
+}
+
+func TestTraceStartingUnavailable(t *testing.T) {
+	s := sim.New()
+	tr := trace.Trace{Duration: 100, Outages: []trace.Interval{{Start: 0, End: 10}}}
+	c := New(s, Config{VolatileTraces: []trace.Trace{tr}})
+	if c.Volatile[0].Available() {
+		t.Fatal("node should start unavailable")
+	}
+	s.RunUntil(100)
+	if !c.Volatile[0].Available() {
+		t.Fatal("node should have resumed")
+	}
+}
+
+func TestNewAllVolatile(t *testing.T) {
+	s := sim.New()
+	vt, err := trace.GenerateFleet(rng.New(1), trace.DefaultOutageConfig(0.4), 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, err := trace.GenerateFleet(rng.New(2), trace.DefaultOutageConfig(0.4), 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewAllVolatile(s, vt, et)
+	if len(c.Nodes) != 6 || len(c.Dedicated) != 0 || len(c.Volatile) != 6 {
+		t.Fatalf("all-volatile topology %d/%d/%d", len(c.Nodes), len(c.Volatile), len(c.Dedicated))
+	}
+}
+
+func TestFleetStatisticsMatchTraceRate(t *testing.T) {
+	s := sim.New()
+	const horizon = 8 * 3600
+	traces, err := trace.GenerateFleet(rng.New(3), trace.DefaultOutageConfig(0.5), horizon, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(s, Config{VolatileTraces: traces})
+	// Sample the fleet every 10 minutes; average fraction down ~0.5.
+	sum, samples := 0.0, 0
+	stop := s.Ticker(600, "sample", func() {
+		sum += c.VolatileUnavailableFraction()
+		samples++
+	})
+	s.RunUntil(horizon)
+	stop()
+	avg := sum / float64(samples)
+	if avg < 0.4 || avg > 0.6 {
+		t.Fatalf("sampled unavailability %v, want ~0.5", avg)
+	}
+}

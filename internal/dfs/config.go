@@ -1,0 +1,192 @@
+package dfs
+
+import "fmt"
+
+// Mode selects the stock-Hadoop policies or the MOON extensions.
+type Mode int
+
+const (
+	// ModeHadoop reproduces HDFS 0.17 behaviour: one-dimensional
+	// replication (Factor.V total copies on any nodes), no hibernate
+	// state, no throttling, no read prioritization, no adaptive degree.
+	ModeHadoop Mode = iota
+	// ModeMOON enables every extension from the paper.
+	ModeMOON
+)
+
+func (m Mode) String() string {
+	if m == ModeMOON {
+		return "moon"
+	}
+	return "hadoop"
+}
+
+// Config parameterizes the file system. Zero values are filled from
+// DefaultConfig by New.
+type Config struct {
+	Mode Mode
+
+	// BlockSize is the fixed block size in bytes (Hadoop 0.17: 64 MB).
+	BlockSize float64
+
+	// HeartbeatInterval is the DataNode heartbeat period in seconds.
+	HeartbeatInterval float64
+
+	// NodeExpiryInterval: a DataNode silent this long is declared dead
+	// and its replicas are deregistered and re-replicated.
+	NodeExpiryInterval float64
+
+	// NodeHibernateInterval (MOON): a DataNode silent this long enters
+	// hibernate — much shorter than NodeExpiryInterval.
+	NodeHibernateInterval float64
+
+	// ReplicationScanInterval is the NameNode's under-replication scan
+	// period.
+	ReplicationScanInterval float64
+
+	// MaxReplicationStreams caps concurrent re-replication transfers.
+	MaxReplicationStreams int
+
+	// AvailabilityTarget is the user-defined QoS level for opportunistic
+	// files without dedicated copies (paper example: 0.9): the adaptive
+	// volatile degree v' satisfies 1 - p^v' > AvailabilityTarget.
+	AvailabilityTarget float64
+
+	// MaxAdaptiveV clamps the adaptive degree (replication storms guard).
+	MaxAdaptiveV int
+
+	// PSampleInterval is how often the NameNode samples the fraction of
+	// unavailable volatile DataNodes; PWindow is how many samples form
+	// the estimate of p (the "past interval I" of the paper).
+	PSampleInterval float64
+	PWindow         int
+
+	// Throttling (Algorithm 1) of dedicated DataNodes.
+	ThrottleSampleInterval float64 // bandwidth sampling period (seconds)
+	ThrottleWindow         int     // W: window size in samples
+	ThrottleThreshold      float64 // Tb: relative margin
+	// ThrottleFloor (bytes/s): a node is only eligible for the throttled
+	// state while its measured bandwidth exceeds this floor. Algorithm 1
+	// compares a sample against the window average, which at light load
+	// would flag any small plateau as saturation; the floor restricts
+	// the detector to the saturation regime the paper designed it for.
+	ThrottleFloor float64
+
+	// WriteRetries bounds per-block placement retries before a write
+	// fails.
+	WriteRetries int
+
+	// WriteRetryBackoff is the pause before retrying a failed block
+	// write, seconds.
+	WriteRetryBackoff float64
+}
+
+// DefaultConfig returns the parameters used throughout the paper's
+// evaluation for the given mode.
+func DefaultConfig(mode Mode) Config {
+	cfg := Config{
+		Mode:                    mode,
+		BlockSize:               64e6,
+		HeartbeatInterval:       3,
+		NodeExpiryInterval:      600,
+		NodeHibernateInterval:   60,
+		ReplicationScanInterval: 3,
+		MaxReplicationStreams:   8,
+		AvailabilityTarget:      0.9,
+		MaxAdaptiveV:            6,
+		PSampleInterval:         30,
+		PWindow:                 20,
+		ThrottleSampleInterval:  10,
+		ThrottleWindow:          6,
+		ThrottleThreshold:       0.15,
+		ThrottleFloor:           58e6, // half a 1 GbE NIC's payload rate
+		WriteRetries:            20,
+		WriteRetryBackoff:       5,
+	}
+	if mode == ModeHadoop {
+		cfg.NodeHibernateInterval = 0 // no hibernate state
+	} else {
+		// MOON pairs the short hibernate interval with a long expiry:
+		// hibernate already suppresses I/O to silent nodes, so declaring
+		// them dead can wait until the outage is clearly not transient
+		// (mirroring MOON's 30-minute TrackerExpiryInterval). A short
+		// expiry would re-replicate every block of every node whose
+		// owner steps away for ten minutes — the replication thrashing
+		// the hibernate state exists to avoid.
+		cfg.NodeExpiryInterval = 1800
+	}
+	return cfg
+}
+
+// fillDefaults replaces zero values with defaults so callers can override
+// selectively.
+func (c Config) fillDefaults() Config {
+	d := DefaultConfig(c.Mode)
+	if c.BlockSize == 0 {
+		c.BlockSize = d.BlockSize
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = d.HeartbeatInterval
+	}
+	if c.NodeExpiryInterval == 0 {
+		c.NodeExpiryInterval = d.NodeExpiryInterval
+	}
+	if c.NodeHibernateInterval == 0 && c.Mode == ModeMOON {
+		c.NodeHibernateInterval = d.NodeHibernateInterval
+	}
+	if c.ReplicationScanInterval == 0 {
+		c.ReplicationScanInterval = d.ReplicationScanInterval
+	}
+	if c.MaxReplicationStreams == 0 {
+		c.MaxReplicationStreams = d.MaxReplicationStreams
+	}
+	if c.AvailabilityTarget == 0 {
+		c.AvailabilityTarget = d.AvailabilityTarget
+	}
+	if c.MaxAdaptiveV == 0 {
+		c.MaxAdaptiveV = d.MaxAdaptiveV
+	}
+	if c.PSampleInterval == 0 {
+		c.PSampleInterval = d.PSampleInterval
+	}
+	if c.PWindow == 0 {
+		c.PWindow = d.PWindow
+	}
+	if c.ThrottleSampleInterval == 0 {
+		c.ThrottleSampleInterval = d.ThrottleSampleInterval
+	}
+	if c.ThrottleWindow == 0 {
+		c.ThrottleWindow = d.ThrottleWindow
+	}
+	if c.ThrottleThreshold == 0 {
+		c.ThrottleThreshold = d.ThrottleThreshold
+	}
+	if c.ThrottleFloor == 0 {
+		c.ThrottleFloor = d.ThrottleFloor
+	}
+	if c.WriteRetries == 0 {
+		c.WriteRetries = d.WriteRetries
+	}
+	if c.WriteRetryBackoff == 0 {
+		c.WriteRetryBackoff = d.WriteRetryBackoff
+	}
+	return c
+}
+
+// Validate rejects incoherent configurations.
+func (c Config) Validate() error {
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("dfs: block size %v", c.BlockSize)
+	}
+	if c.Mode == ModeMOON && c.NodeHibernateInterval >= c.NodeExpiryInterval {
+		return fmt.Errorf("dfs: hibernate interval %v must be < expiry interval %v",
+			c.NodeHibernateInterval, c.NodeExpiryInterval)
+	}
+	if c.AvailabilityTarget < 0 || c.AvailabilityTarget >= 1 {
+		return fmt.Errorf("dfs: availability target %v outside [0,1)", c.AvailabilityTarget)
+	}
+	if c.ThrottleWindow < 1 {
+		return fmt.Errorf("dfs: throttle window %d", c.ThrottleWindow)
+	}
+	return nil
+}

@@ -1,0 +1,642 @@
+package dfs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// repRetryBackoff is how long a failed re-replication waits before the
+// scan retries the block (seconds).
+const repRetryBackoff = 60
+
+// Metrics counts DFS-level events of interest to the paper's evaluation.
+type Metrics struct {
+	ReplicationsIssued int     // re-replication transfers started
+	ReplicationBytes   float64 // bytes moved by re-replication
+	ThrashReplications int     // re-replications for nodes that later returned
+	DedicatedDeclines  int     // opportunistic writes declined by throttling
+	AdaptiveRaises     int     // writes whose volatile degree was raised to v'
+	Hibernations       int     // DataNode hibernate transitions
+	Expirations        int     // DataNode dead declarations
+	ReRegistrations    int     // blocks re-registered by returning dead nodes
+	TrimmedReplicas    int     // excess replicas removed
+	WriteRetries       int     // block write pipeline retries
+	ReadStalls         int     // reads that failed on a stalled source
+	FetchFailures      int     // reads failed for lack of live replicas
+}
+
+// FileSystem is the simulated DFS: one NameNode plus one DataNode per
+// cluster node.
+type FileSystem struct {
+	sim *sim.Simulation
+	cl  *cluster.Cluster
+	net *netmodel.Network
+	cfg Config
+
+	files     map[string]*File
+	fileOrder []string
+
+	dn []*dnView
+
+	// NameNode's unavailability estimate: ring of samples of the
+	// fraction of volatile DataNodes down.
+	pSamples []float64
+	pCount   int
+	pNext    int
+
+	// pendingRep marks blocks with an in-flight re-replication so scans
+	// don't double-issue; repBackoff delays retries of blocks whose last
+	// re-replication failed (stalled transfers must not be re-issued
+	// every scan, or a churning fleet drowns in I/O to dead nodes).
+	pendingRep map[BlockID]int
+	repBackoff map[BlockID]float64
+	repStreams int
+
+	cursorV, cursorD int
+
+	Metrics Metrics
+}
+
+// New builds the file system over the cluster and network and starts the
+// NameNode's periodic services (replication scan, p estimator, throttling
+// monitor, expiry tracking).
+func New(s *sim.Simulation, cl *cluster.Cluster, net *netmodel.Network, cfg Config) (*FileSystem, error) {
+	cfg = cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fs := &FileSystem{
+		sim:        s,
+		cl:         cl,
+		net:        net,
+		cfg:        cfg,
+		files:      make(map[string]*File),
+		pendingRep: make(map[BlockID]int),
+		repBackoff: make(map[BlockID]float64),
+		pSamples:   make([]float64, cfg.PWindow),
+	}
+	for _, n := range cl.Nodes {
+		v := &dnView{node: n}
+		fs.dn = append(fs.dn, v)
+		n.Watch(fs.nodeChanged)
+	}
+	s.Ticker(cfg.ReplicationScanInterval, "dfs.scan", fs.replicationScan)
+	s.Ticker(cfg.PSampleInterval, "dfs.psample", fs.sampleP)
+	s.Ticker(cfg.ThrottleSampleInterval, "dfs.throttle", fs.sampleThrottle)
+	return fs, nil
+}
+
+// dnView is the NameNode's record of one DataNode.
+type dnView struct {
+	node        *cluster.Node
+	state       DNState
+	hibernateEv *sim.Event
+	expiryEv    *sim.Event
+
+	// Throttling state (dedicated nodes only).
+	bwWindow     []float64
+	lastConsumed float64
+	throttled    bool
+
+	// wasDead marks a node whose replicas were deregistered, for the
+	// thrashing metric and block re-report on return.
+	deadSince float64
+}
+
+// View returns the NameNode's state for a DataNode.
+func (fs *FileSystem) View(nodeID int) DNState { return fs.dn[nodeID].state }
+
+// Throttled reports whether the dedicated DataNode is currently declining
+// opportunistic writes.
+func (fs *FileSystem) Throttled(nodeID int) bool { return fs.dn[nodeID].throttled }
+
+// Config returns the effective configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// nodeChanged tracks heartbeat loss and recovery.
+func (fs *FileSystem) nodeChanged(n *cluster.Node, available bool) {
+	v := fs.dn[n.ID]
+	if !available {
+		if fs.cfg.Mode == ModeMOON && fs.cfg.NodeHibernateInterval > 0 {
+			v.hibernateEv = fs.sim.After(fs.cfg.NodeHibernateInterval, "dfs.hibernate", func() {
+				if v.state == DNLive {
+					v.state = DNHibernate
+					fs.Metrics.Hibernations++
+				}
+			})
+		}
+		v.expiryEv = fs.sim.After(fs.cfg.NodeExpiryInterval, "dfs.expire", func() {
+			fs.expire(v)
+		})
+		return
+	}
+	fs.sim.Cancel(v.hibernateEv)
+	fs.sim.Cancel(v.expiryEv)
+	v.hibernateEv, v.expiryEv = nil, nil
+	wasDead := v.state == DNDead
+	v.state = DNLive
+	if wasDead {
+		fs.reRegister(v)
+	}
+}
+
+// expire declares the DataNode dead and deregisters its replicas (the data
+// stays on disk and is re-reported if the node returns).
+func (fs *FileSystem) expire(v *dnView) {
+	if v.state == DNDead {
+		return
+	}
+	v.state = DNDead
+	v.deadSince = fs.sim.Now()
+	fs.Metrics.Expirations++
+	for _, name := range fs.fileOrder {
+		for _, b := range fs.files[name].Blocks {
+			removeInt(&b.replicas, v.node.ID)
+		}
+	}
+}
+
+// reRegister re-adds the block replicas still on a returning node's disk.
+func (fs *FileSystem) reRegister(v *dnView) {
+	id := v.node.ID
+	for _, name := range fs.fileOrder {
+		for _, b := range fs.files[name].Blocks {
+			if b.onDisk[id] && !containsInt(b.replicas, id) {
+				b.replicas = append(b.replicas, id)
+				fs.Metrics.ReRegistrations++
+			}
+		}
+	}
+}
+
+// registerReplica records a completed replica write.
+func (fs *FileSystem) registerReplica(b *Block, nodeID int) {
+	if b.onDisk == nil {
+		b.onDisk = make(map[int]bool)
+	}
+	b.onDisk[nodeID] = true
+	if !containsInt(b.replicas, nodeID) {
+		b.replicas = append(b.replicas, nodeID)
+	}
+}
+
+// dropReplica removes a replica both from registration and disk.
+func (fs *FileSystem) dropReplica(b *Block, nodeID int) {
+	removeInt(&b.replicas, nodeID)
+	delete(b.onDisk, nodeID)
+}
+
+// liveReplicas returns the replica node IDs the NameNode would serve from:
+// registered on a DataNode it believes live.
+func (fs *FileSystem) liveReplicas(b *Block) []int {
+	var out []int
+	for _, id := range b.replicas {
+		if fs.dn[id].state == DNLive {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// dedicatedLive reports whether the block has a replica on a live dedicated
+// node.
+func (fs *FileSystem) dedicatedLive(b *Block) bool {
+	for _, id := range b.replicas {
+		if fs.dn[id].state == DNLive && fs.dn[id].node.IsDedicated() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasLiveReplica reports whether any replica of the block is currently
+// servable — the query MOON's JobTracker issues after repeated fetch
+// failures to decide whether to re-execute the producing Map task.
+func (fs *FileSystem) HasLiveReplica(id BlockID) bool {
+	b := fs.lookupBlock(id)
+	if b == nil {
+		return false
+	}
+	return len(fs.liveReplicas(b)) > 0
+}
+
+// FileFullyReplicated reports whether every block of the file meets its
+// replication factor on live nodes. MOON marks a job complete only once its
+// output file reaches this state.
+func (fs *FileSystem) FileFullyReplicated(name string) bool {
+	f := fs.files[name]
+	if f == nil {
+		return false
+	}
+	for _, b := range f.Blocks {
+		needD, needV := fs.required(f, b)
+		d, v := fs.countLive(b)
+		if fs.cfg.Mode == ModeHadoop {
+			if d+v < needD+needV {
+				return false
+			}
+		} else if d < needD || v < needV {
+			return false
+		}
+	}
+	return true
+}
+
+// File returns the file record, or nil.
+func (fs *FileSystem) File(name string) *File { return fs.files[name] }
+
+// Exists reports whether the file exists.
+func (fs *FileSystem) Exists(name string) bool { return fs.files[name] != nil }
+
+func (fs *FileSystem) lookupBlock(id BlockID) *Block {
+	f := fs.files[id.File]
+	if f == nil || id.Index < 0 || id.Index >= len(f.Blocks) {
+		return nil
+	}
+	return f.Blocks[id.Index]
+}
+
+// createFile registers a new empty file and its block skeleton.
+func (fs *FileSystem) createFile(name string, size float64, class FileClass, factor Factor) (*File, error) {
+	if fs.files[name] != nil {
+		return nil, fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	if err := factor.Validate(); err != nil {
+		return nil, err
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("dfs: file %s size %v must be positive", name, size)
+	}
+	f := &File{Name: name, Class: class, Factor: factor}
+	nblocks := int(math.Ceil(size / fs.cfg.BlockSize))
+	rem := size
+	for i := 0; i < nblocks; i++ {
+		bs := math.Min(rem, fs.cfg.BlockSize)
+		f.Blocks = append(f.Blocks, &Block{
+			ID:     BlockID{File: name, Index: i},
+			Size:   bs,
+			onDisk: make(map[int]bool),
+			file:   f,
+		})
+		rem -= bs
+	}
+	fs.files[name] = f
+	fs.fileOrder = append(fs.fileOrder, name)
+	return f, nil
+}
+
+// CreateStaged creates a file and instantly materializes its replicas per
+// the placement policy, with no simulated I/O cost. It models input data
+// staged before the job starts (the paper stages inputs with the tools
+// shipped with Hadoop before measuring).
+func (fs *FileSystem) CreateStaged(name string, size float64, class FileClass, factor Factor) (*File, error) {
+	f, err := fs.createFile(name, size, class, factor)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range f.Blocks {
+		needD, needV := fs.required(f, b)
+		if fs.cfg.Mode == ModeHadoop {
+			for _, t := range fs.chooseAny(needD+needV, nil) {
+				fs.registerReplica(b, t)
+			}
+			continue
+		}
+		for _, t := range fs.chooseDedicated(needD, nil) {
+			fs.registerReplica(b, t)
+		}
+		for _, t := range fs.chooseVolatile(needV, nil) {
+			fs.registerReplica(b, t)
+		}
+	}
+	return f, nil
+}
+
+// Delete removes the file and all replicas.
+func (fs *FileSystem) Delete(name string) {
+	f := fs.files[name]
+	if f == nil {
+		return
+	}
+	delete(fs.files, name)
+	for i, n := range fs.fileOrder {
+		if n == name {
+			fs.fileOrder = append(fs.fileOrder[:i], fs.fileOrder[i+1:]...)
+			break
+		}
+	}
+	for _, b := range f.Blocks {
+		delete(fs.pendingRep, b.ID)
+		delete(fs.repBackoff, b.ID)
+	}
+}
+
+// Commit converts an opportunistic output file to reliable (MOON does this
+// when all Reduce tasks of a job finish); the replication scan then tops up
+// missing dedicated copies.
+func (fs *FileSystem) Commit(name string) error {
+	f := fs.files[name]
+	if f == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownFile, name)
+	}
+	f.Class = Reliable
+	f.committed = true
+	return nil
+}
+
+// BlockLocations returns the node IDs holding live replicas of a block, for
+// locality-aware task placement.
+func (fs *FileSystem) BlockLocations(id BlockID) []int {
+	b := fs.lookupBlock(id)
+	if b == nil {
+		return nil
+	}
+	return fs.liveReplicas(b)
+}
+
+// HasReplicaOn reports whether the node holds a live replica of the block —
+// the allocation-free locality test the scheduler runs for every pending
+// map on every heartbeat.
+func (fs *FileSystem) HasReplicaOn(id BlockID, nodeID int) bool {
+	b := fs.lookupBlock(id)
+	if b == nil {
+		return false
+	}
+	for _, rid := range b.replicas {
+		if rid == nodeID && fs.dn[rid].state == DNLive {
+			return true
+		}
+	}
+	return false
+}
+
+// --- NameNode periodic services -------------------------------------------
+
+// sampleP records the instantaneous fraction of unavailable volatile nodes;
+// EstimateP averages the window (the paper's "monitor the fraction of
+// unavailable DataNodes during the past interval I").
+func (fs *FileSystem) sampleP() {
+	fs.pSamples[fs.pNext] = fs.cl.VolatileUnavailableFraction()
+	fs.pNext = (fs.pNext + 1) % len(fs.pSamples)
+	if fs.pCount < len(fs.pSamples) {
+		fs.pCount++
+	}
+}
+
+// EstimateP returns the NameNode's current estimate of the volatile-node
+// unavailability rate p.
+func (fs *FileSystem) EstimateP() float64 {
+	if fs.pCount == 0 {
+		return fs.cl.VolatileUnavailableFraction()
+	}
+	sum := 0.0
+	for i := 0; i < fs.pCount; i++ {
+		sum += fs.pSamples[i]
+	}
+	return sum / float64(fs.pCount)
+}
+
+// AdaptiveV returns the smallest volatile replication degree v' such that
+// 1 - p^v' exceeds the availability target, clamped to [1, MaxAdaptiveV].
+func (fs *FileSystem) AdaptiveV() int {
+	p := fs.EstimateP()
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return fs.cfg.MaxAdaptiveV
+	}
+	// 1 - p^v > target  <=>  v > log(1-target)/log(p).
+	v := int(math.Floor(math.Log(1-fs.cfg.AvailabilityTarget)/math.Log(p))) + 1
+	if v < 1 {
+		v = 1
+	}
+	if v > fs.cfg.MaxAdaptiveV {
+		v = fs.cfg.MaxAdaptiveV
+	}
+	return v
+}
+
+// required returns the dedicated/volatile replica targets for a block under
+// the current policy. For Hadoop mode the two counts collapse into a single
+// total (reported as needV with needD = 0).
+func (fs *FileSystem) required(f *File, b *Block) (needD, needV int) {
+	if fs.cfg.Mode == ModeHadoop {
+		return 0, f.Factor.D + f.Factor.V
+	}
+	needD, needV = f.Factor.D, f.Factor.V
+	if f.Class == Opportunistic && needD > 0 && !fs.dedicatedLive(b) {
+		// No dedicated copy: availability rests on volatile replicas, so
+		// the volatile degree adapts to v'.
+		if av := fs.AdaptiveV(); av > needV {
+			needV = av
+		}
+	}
+	return needD, needV
+}
+
+// countLive counts live dedicated and volatile replicas. In MOON mode,
+// volatile replicas on *hibernating* nodes still count unless the block
+// belongs to an opportunistic file without a live dedicated copy — the
+// paper's rule: "only opportunistic files without dedicated replicas will
+// be re-replicated" when nodes hibernate, which is what prevents
+// replication thrashing on transient outages.
+func (fs *FileSystem) countLive(b *Block) (d, v int) {
+	protected := b.file.Class == Reliable || fs.dedicatedLive(b)
+	for _, id := range b.replicas {
+		view := fs.dn[id]
+		switch {
+		case view.state == DNLive && view.node.IsDedicated():
+			d++
+		case view.state == DNLive:
+			v++
+		case view.state == DNHibernate && !view.node.IsDedicated() &&
+			fs.cfg.Mode == ModeMOON && protected:
+			v++
+		}
+	}
+	return d, v
+}
+
+// replicationScan walks all blocks, re-replicating under-replicated ones
+// (reliable files first) and trimming excess replicas.
+func (fs *FileSystem) replicationScan() {
+	// Two passes: reliable files have priority for replication streams.
+	for _, wantReliable := range []bool{true, false} {
+		for _, name := range fs.fileOrder {
+			f := fs.files[name]
+			if (f.Class == Reliable) != wantReliable {
+				continue
+			}
+			for _, b := range f.Blocks {
+				fs.scanBlock(f, b)
+			}
+		}
+	}
+}
+
+func (fs *FileSystem) scanBlock(f *File, b *Block) {
+	if f.underConstruction {
+		return
+	}
+	if until, ok := fs.repBackoff[b.ID]; ok {
+		if fs.sim.Now() < until {
+			return
+		}
+		delete(fs.repBackoff, b.ID)
+	}
+	needD, needV := fs.required(f, b)
+	d, v := fs.countLive(b)
+	pend := fs.pendingRep[b.ID]
+
+	if fs.cfg.Mode == ModeHadoop {
+		total, needTotal := d+v, needD+needV
+		switch {
+		case total+pend < needTotal:
+			fs.issueReplication(b, fs.chooseAny(1, b.replicas))
+		case total > needTotal && pend == 0:
+			fs.trimExcess(b, total-needTotal, false)
+		}
+		return
+	}
+
+	// MOON: dedicated deficit first (a reliable file's dedicated write is
+	// always honored; opportunistic dedicated copies are best-effort and
+	// skipped while the dedicated tier is throttled).
+	if d+pend < needD {
+		if f.Class == Reliable || !fs.allDedicatedThrottled() {
+			fs.issueReplication(b, fs.chooseDedicated(1, b.replicas))
+		}
+	}
+	if v+pend < needV {
+		fs.issueReplication(b, fs.chooseVolatile(1, b.replicas))
+	}
+	if v > needV && pend == 0 {
+		fs.trimExcess(b, v-needV, true)
+	}
+	if d > needD && pend == 0 {
+		fs.trimDedicatedExcess(b, d-needD)
+	}
+}
+
+// trimDedicatedExcess removes surplus dedicated replicas (can arise when a
+// relay write and an earlier scan both placed dedicated copies).
+func (fs *FileSystem) trimDedicatedExcess(b *Block, n int) {
+	for i := len(b.replicas) - 1; i >= 0 && n > 0; i-- {
+		id := b.replicas[i]
+		if !fs.dn[id].node.IsDedicated() {
+			continue
+		}
+		fs.dropReplica(b, id)
+		fs.Metrics.TrimmedReplicas++
+		n--
+	}
+}
+
+// issueReplication starts one re-replication transfer to the first target,
+// respecting the global stream cap.
+func (fs *FileSystem) issueReplication(b *Block, targets []int) {
+	if len(targets) == 0 || fs.repStreams >= fs.cfg.MaxReplicationStreams {
+		return
+	}
+	src := fs.pickSource(b)
+	if src < 0 {
+		return
+	}
+	dst := targets[0]
+	fs.pendingRep[b.ID]++
+	fs.repStreams++
+	fs.Metrics.ReplicationsIssued++
+	srcDown := !fs.dn[src].node.Available()
+	fs.net.Transfer(fs.dn[src].node, fs.dn[dst].node, b.Size, func(err error) {
+		fs.repStreams--
+		if fs.pendingRep[b.ID]--; fs.pendingRep[b.ID] <= 0 {
+			delete(fs.pendingRep, b.ID)
+		}
+		if err != nil {
+			// Back the block off before retrying: the failure usually
+			// means an endpoint is silently gone, and immediate retries
+			// through the same stale view just stall again.
+			fs.repBackoff[b.ID] = fs.sim.Now() + repRetryBackoff
+			return
+		}
+		fs.Metrics.ReplicationBytes += b.Size
+		if srcDown || fs.dn[src].state == DNDead {
+			// Replicated a block whose holder was only transiently away.
+			fs.Metrics.ThrashReplications++
+		}
+		fs.registerReplica(b, dst)
+	})
+}
+
+// trimExcess deregisters n excess replicas; volatileOnly restricts trimming
+// to volatile holders (MOON never gives up dedicated copies).
+func (fs *FileSystem) trimExcess(b *Block, n int, volatileOnly bool) {
+	for i := len(b.replicas) - 1; i >= 0 && n > 0; i-- {
+		id := b.replicas[i]
+		if volatileOnly && fs.dn[id].node.IsDedicated() {
+			continue
+		}
+		fs.dropReplica(b, id)
+		fs.Metrics.TrimmedReplicas++
+		n--
+	}
+}
+
+// pickSource chooses the least-loaded live replica holder, preferring
+// volatile sources so replication reads spare the dedicated tier (the
+// paper's read prioritization applied to replication traffic).
+func (fs *FileSystem) pickSource(b *Block) int {
+	best, bestKey := -1, [2]int{1 << 30, 1 << 30}
+	for _, id := range b.replicas {
+		if fs.dn[id].state != DNLive {
+			continue
+		}
+		tier := 0
+		if fs.cfg.Mode == ModeMOON && fs.dn[id].node.IsDedicated() {
+			tier = 1
+		}
+		key := [2]int{tier*1000000 + fs.net.ActiveFlows(id), id}
+		if best == -1 || key[0] < bestKey[0] || (key[0] == bestKey[0] && key[1] < bestKey[1]) {
+			best, bestKey = id, key
+		}
+	}
+	return best
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func removeInt(s *[]int, x int) {
+	for i, v := range *s {
+		if v == x {
+			*s = append((*s)[:i], (*s)[i+1:]...)
+			return
+		}
+	}
+}
+
+// sortedIDs returns a deterministic copy of ids sorted ascending.
+func sortedIDs(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	return out
+}
+
+// SetThrottledForTest pins a dedicated node's throttle state; test hook.
+func (fs *FileSystem) SetThrottledForTest(nodeID int, throttled bool) {
+	fs.dn[nodeID].throttled = throttled
+}

@@ -1,0 +1,124 @@
+package dfs
+
+// Placement: target selection for writes and re-replication. Selection is
+// deterministic — rotating cursors spread load; candidates are nodes the
+// NameNode believes live (its view can lag reality, in which case the
+// transfer stalls exactly as the paper describes for I/O sent to nodes not
+// yet identified as dead).
+
+// chooseVolatile picks up to k distinct volatile DataNodes believed live,
+// excluding the given holders, rotating a cursor for spread.
+func (fs *FileSystem) chooseVolatile(k int, exclude []int) []int {
+	return fs.choose(k, exclude, func(v *dnView) bool {
+		return !v.node.IsDedicated()
+	}, &fs.cursorV)
+}
+
+// chooseDedicated picks up to k distinct dedicated DataNodes believed live.
+func (fs *FileSystem) chooseDedicated(k int, exclude []int) []int {
+	return fs.choose(k, exclude, func(v *dnView) bool {
+		return v.node.IsDedicated()
+	}, &fs.cursorD)
+}
+
+// chooseAny picks nodes of any type (stock-Hadoop placement).
+func (fs *FileSystem) chooseAny(k int, exclude []int) []int {
+	return fs.choose(k, exclude, func(*dnView) bool { return true }, &fs.cursorV)
+}
+
+func (fs *FileSystem) choose(k int, exclude []int, eligible func(*dnView) bool, cursor *int) []int {
+	if k <= 0 {
+		return nil
+	}
+	n := len(fs.dn)
+	var out []int
+	for probe := 0; probe < n && len(out) < k; probe++ {
+		id := (*cursor + probe) % n
+		v := fs.dn[id]
+		if v.state != DNLive || !eligible(v) {
+			continue
+		}
+		if containsInt(exclude, id) || containsInt(out, id) {
+			continue
+		}
+		out = append(out, id)
+	}
+	*cursor = (*cursor + 1) % n
+	return out
+}
+
+// allDedicatedThrottled reports whether every live dedicated DataNode is
+// currently throttled — the condition under which MOON declines dedicated
+// copies for opportunistic data (Figure 3's decision process). A tier with
+// no live dedicated node at all also declines.
+func (fs *FileSystem) allDedicatedThrottled() bool {
+	for _, v := range fs.dn {
+		if v.node.IsDedicated() && v.state == DNLive && !v.throttled {
+			return false
+		}
+	}
+	return true
+}
+
+// pickUnthrottledDedicated returns a live, unthrottled dedicated node for an
+// opportunistic write, or -1 when the whole tier is saturated.
+func (fs *FileSystem) pickUnthrottledDedicated(exclude []int) int {
+	n := len(fs.dn)
+	for probe := 0; probe < n; probe++ {
+		id := (fs.cursorD + probe) % n
+		v := fs.dn[id]
+		if v.node.IsDedicated() && v.state == DNLive && !v.throttled && !containsInt(exclude, id) {
+			fs.cursorD = (fs.cursorD + 1) % n
+			return id
+		}
+	}
+	fs.cursorD = (fs.cursorD + 1) % n
+	return -1
+}
+
+// sampleThrottle runs Algorithm 1 on every dedicated DataNode: compare the
+// freshly measured I/O bandwidth against the window average; a rise that
+// stays within the Tb margin means the node has plateaued (saturated), a
+// fall below the margin releases it.
+func (fs *FileSystem) sampleThrottle() {
+	for _, v := range fs.dn {
+		if !v.node.IsDedicated() {
+			continue
+		}
+		consumed := fs.net.Consumed(v.node.ID)
+		bw := (consumed - v.lastConsumed) / fs.cfg.ThrottleSampleInterval
+		v.lastConsumed = consumed
+		fs.throttleStep(v, bw)
+	}
+}
+
+// throttleStep is Algorithm 1 from the paper: compare the new bandwidth
+// sample bw against the average of the past W samples. Rising but within
+// the (1+Tb) margin of the average means the node has plateaued: throttle.
+// Falling below the (1-Tb) margin releases it. The avg > 0 guard keeps an
+// idle node from being declared saturated by zero-vs-zero comparisons.
+func (fs *FileSystem) throttleStep(v *dnView, bw float64) {
+	W := fs.cfg.ThrottleWindow
+	if len(v.bwWindow) >= W {
+		avg := 0.0
+		for _, x := range v.bwWindow[len(v.bwWindow)-W:] {
+			avg += x
+		}
+		avg /= float64(W)
+		Tb := fs.cfg.ThrottleThreshold
+		if bw > avg && avg > 0 && bw >= fs.cfg.ThrottleFloor {
+			if !v.throttled && bw < avg*(1+Tb) {
+				v.throttled = true
+			}
+		}
+		if bw < avg {
+			if v.throttled && bw < avg*(1-Tb) {
+				v.throttled = false
+			}
+		}
+	}
+	v.bwWindow = append(v.bwWindow, bw)
+	if len(v.bwWindow) > 4*W { // bound memory
+		v.bwWindow = append([]float64(nil), v.bwWindow[len(v.bwWindow)-W:]...)
+	}
+}

@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkLiveWordCount measures end-to-end live-engine throughput on a
+// quiet pool (8 splits × 200 words, 3 reducers).
+func BenchmarkLiveWordCount(b *testing.B) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	job, _ := wordCountJob(8, 200, 3)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Run(ctx, job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveWordCountUnderChurn measures the same job with one worker
+// suspension mid-run.
+func BenchmarkLiveWordCountUnderChurn(b *testing.B) {
+	cfg := DefaultConfig()
+	c, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	job, _ := wordCountJob(8, 200, 3)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := i % cfg.VolatileWorkers
+		_ = c.Suspend(w)
+		go func(w int) {
+			time.Sleep(20 * time.Millisecond)
+			_ = c.Resume(w)
+		}(w)
+		if _, _, err := c.Run(ctx, job); err != nil {
+			b.Fatal(err)
+		}
+		_ = c.Resume(w)
+	}
+}

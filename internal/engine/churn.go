@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// ChurnRunner drives a cluster's Suspend/Resume calls from availability
+// traces, compressing simulated seconds into wall-clock milliseconds — the
+// live-engine equivalent of the simulator's trace-driven node model.
+type ChurnRunner struct {
+	c *Cluster
+	// Compression maps one simulated second to this wall duration.
+	Compression time.Duration
+}
+
+// NewChurnRunner builds a runner with the given time compression (e.g.
+// time.Millisecond turns the paper's 8-hour traces into ~29 s of wall
+// time; tests use smaller horizons).
+func NewChurnRunner(c *Cluster, compression time.Duration) *ChurnRunner {
+	return &ChurnRunner{c: c, Compression: compression}
+}
+
+// Play replays one trace against one volatile worker until the context
+// ends or the trace horizon passes. It blocks; run it in a goroutine per
+// worker.
+func (r *ChurnRunner) Play(ctx context.Context, worker int, tr trace.Trace) error {
+	start := time.Now()
+	for _, iv := range tr.Outages {
+		if err := sleepUntil(ctx, start.Add(scaleDur(iv.Start, r.Compression))); err != nil {
+			return err
+		}
+		if err := r.c.Suspend(worker); err != nil {
+			return err
+		}
+		if err := sleepUntil(ctx, start.Add(scaleDur(iv.End, r.Compression))); err != nil {
+			_ = r.c.Resume(worker) // leave the worker usable
+			return err
+		}
+		if err := r.c.Resume(worker); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PlayFleet replays one trace per volatile worker concurrently and returns
+// when all traces finish or ctx ends.
+func (r *ChurnRunner) PlayFleet(ctx context.Context, traces []trace.Trace) {
+	done := make(chan struct{}, len(traces))
+	n := 0
+	for w := 0; w < r.c.cfg.VolatileWorkers && w < len(traces); w++ {
+		n++
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			_ = r.Play(ctx, w, traces[w])
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+// scaleDur converts simulated seconds to wall time at the given
+// compression.
+func scaleDur(simSeconds float64, perSimSecond time.Duration) time.Duration {
+	return time.Duration(simSeconds * float64(perSimSecond))
+}
+
+// sleepUntil waits until the deadline or context end.
+func sleepUntil(ctx context.Context, deadline time.Time) error {
+	d := time.Until(deadline)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

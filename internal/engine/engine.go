@@ -1,0 +1,184 @@
+// Package engine is a live, goroutine-based mini-MapReduce runtime with
+// churn injection: real user Map and Reduce functions run on a pool of
+// worker goroutines, some of which can be suspended and resumed at any
+// moment (a volunteer PC reclaimed by its owner), while a small set of
+// dedicated workers never churns — MOON's hybrid architecture in process
+// form.
+//
+// Where internal/mapred *models* task execution to reproduce the paper's
+// measurements, engine *executes* it: suspended workers stop mid-task and
+// stop serving their map outputs, the master detects silence, issues backup
+// copies for frozen tasks, optionally keeps a dedicated replica of all
+// intermediate data (the paper's hybrid-aware replication), and re-executes
+// maps whose outputs became unreachable. The first completed attempt of a
+// task wins; results are exactly-once regardless of churn.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// MapFunc processes one input split, emitting intermediate key/value pairs.
+type MapFunc func(input string, emit func(key, value string))
+
+// ReduceFunc folds all values of one key into a final value.
+type ReduceFunc func(key string, values []string) string
+
+// Job describes one MapReduce computation.
+type Job struct {
+	Name    string
+	Inputs  []string // one split per map task
+	Reduces int
+	Map     MapFunc
+	Reduce  ReduceFunc
+}
+
+// Config describes the worker pool and the MOON-style policies.
+type Config struct {
+	// VolatileWorkers can be suspended/resumed; DedicatedWorkers never
+	// churn.
+	VolatileWorkers  int
+	DedicatedWorkers int
+
+	// SuspensionTimeout is how long a worker may be silent before its
+	// running tasks are considered frozen and backup copies are issued.
+	SuspensionTimeout time.Duration
+
+	// HeartbeatInterval is the worker heartbeat period.
+	HeartbeatInterval time.Duration
+
+	// FetchTimeout bounds one intermediate-data fetch.
+	FetchTimeout time.Duration
+
+	// ReplicateToDedicated stores a copy of every map output on a
+	// dedicated worker's store (MOON's hybrid-aware intermediate
+	// replication). Without it, a suspended map worker makes its output
+	// unreachable and the map is re-executed.
+	ReplicateToDedicated bool
+}
+
+// DefaultConfig returns a small hybrid pool with MOON-style replication.
+func DefaultConfig() Config {
+	return Config{
+		VolatileWorkers:      4,
+		DedicatedWorkers:     1,
+		SuspensionTimeout:    50 * time.Millisecond,
+		HeartbeatInterval:    10 * time.Millisecond,
+		FetchTimeout:         50 * time.Millisecond,
+		ReplicateToDedicated: true,
+	}
+}
+
+func (c Config) validate() error {
+	if c.VolatileWorkers+c.DedicatedWorkers < 1 {
+		return errors.New("engine: need at least one worker")
+	}
+	if c.SuspensionTimeout <= 0 || c.HeartbeatInterval <= 0 || c.FetchTimeout <= 0 {
+		return errors.New("engine: timeouts must be positive")
+	}
+	return nil
+}
+
+// Cluster is a live worker pool. Create with New, run jobs with Run,
+// inject churn with Suspend/Resume, and Close when done.
+type Cluster struct {
+	cfg     Config
+	workers []*worker
+	closed  chan struct{}
+	once    sync.Once
+}
+
+// New starts the worker goroutine pool.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, closed: make(chan struct{})}
+	total := cfg.VolatileWorkers + cfg.DedicatedWorkers
+	for i := 0; i < total; i++ {
+		w := newWorker(i, i >= cfg.VolatileWorkers, cfg)
+		c.workers = append(c.workers, w)
+		go w.run(c.closed)
+	}
+	return c, nil
+}
+
+// Close stops all workers. Jobs in flight fail.
+func (c *Cluster) Close() {
+	c.once.Do(func() { close(c.closed) })
+}
+
+// Workers returns the total worker count.
+func (c *Cluster) Workers() int { return len(c.workers) }
+
+// Suspend pauses a volatile worker: it stops mid-task (at the next
+// checkpoint), stops heartbeating, and stops serving intermediate data.
+// Suspending a dedicated worker is rejected.
+func (c *Cluster) Suspend(worker int) error {
+	if worker < 0 || worker >= len(c.workers) {
+		return fmt.Errorf("engine: no worker %d", worker)
+	}
+	w := c.workers[worker]
+	if w.dedicated {
+		return fmt.Errorf("engine: worker %d is dedicated and cannot be suspended", worker)
+	}
+	w.gate.close()
+	return nil
+}
+
+// Resume un-suspends a worker; its paused work continues.
+func (c *Cluster) Resume(worker int) error {
+	if worker < 0 || worker >= len(c.workers) {
+		return fmt.Errorf("engine: no worker %d", worker)
+	}
+	c.workers[worker].gate.open()
+	return nil
+}
+
+// Suspended reports whether the worker is currently suspended.
+func (c *Cluster) Suspended(worker int) bool {
+	return worker >= 0 && worker < len(c.workers) && c.workers[worker].gate.closedNow()
+}
+
+// Stats summarizes one Run.
+type Stats struct {
+	MapAttempts    int // map executions launched (>= len(Inputs))
+	ReduceAttempts int // reduce executions launched (>= Reduces)
+	MapReexecs     int // maps re-executed because their output was lost
+	BackupCopies   int // speculative copies issued for frozen tasks
+	FetchFailures  int // intermediate fetches that timed out or missed
+}
+
+// Run executes the job and returns the reduce outputs keyed by reduce
+// output key. It is safe to run jobs sequentially on one cluster; one Run
+// at a time.
+func (c *Cluster) Run(ctx context.Context, job Job) (map[string]string, Stats, error) {
+	if len(job.Inputs) == 0 || job.Map == nil || job.Reduce == nil || job.Reduces < 1 {
+		return nil, Stats{}, errors.New("engine: job needs inputs, Map, Reduce and Reduces >= 1")
+	}
+	m := newMaster(c, job)
+	return m.run(ctx)
+}
+
+// partitionOf routes a key to a reduce partition.
+func partitionOf(key string, reduces int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(reduces))
+}
+
+// sortedKeys returns map keys in sorted order (deterministic iteration).
+func sortedKeys[M ~map[string][]string](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,411 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// masterEvent is anything a worker reports back.
+type masterEvent struct {
+	kind    eventKind
+	taskID  int // map or reduce index
+	attempt int
+	worker  int
+	holders []int             // mapDone: workers holding the output
+	output  map[string]string // reduceDone: final key→value pairs
+	missing []int             // reduceStuck: map IDs with no reachable output
+}
+
+type eventKind int
+
+const (
+	evMapDone eventKind = iota
+	evReduceDone
+	evReduceStuck
+)
+
+// attemptRef tracks one outstanding attempt.
+type attemptRef struct {
+	attempt int
+	worker  int
+}
+
+// taskState is the master's record of one map or reduce task.
+type taskState struct {
+	id          int
+	isReduce    bool
+	done        bool
+	winAttempt  int
+	holders     []int
+	outstanding []attemptRef
+	nextAttempt int
+}
+
+// master coordinates one job run.
+type master struct {
+	c   *Cluster
+	job Job
+
+	maps    []*taskState
+	reduces []*taskState
+
+	events chan masterEvent
+	hb     chan int
+
+	lastBeat []time.Time
+
+	results map[string]string
+	stats   Stats
+}
+
+func newMaster(c *Cluster, job Job) *master {
+	m := &master{
+		c:        c,
+		job:      job,
+		events:   make(chan masterEvent, 4*len(c.workers)+16),
+		hb:       make(chan int, 4*len(c.workers)+16),
+		lastBeat: make([]time.Time, len(c.workers)),
+		results:  make(map[string]string),
+	}
+	for i := range job.Inputs {
+		m.maps = append(m.maps, &taskState{id: i})
+	}
+	for i := 0; i < job.Reduces; i++ {
+		m.reduces = append(m.reduces, &taskState{id: i, isReduce: true})
+	}
+	return m
+}
+
+func (m *master) run(ctx context.Context) (map[string]string, Stats, error) {
+	now := time.Now()
+	for i, w := range m.c.workers {
+		m.lastBeat[i] = now
+		w.clearStore()
+		w.attachHeartbeat(m.hb)
+	}
+	defer func() {
+		for _, w := range m.c.workers {
+			w.attachHeartbeat(nil)
+		}
+	}()
+
+	check := time.NewTicker(m.c.cfg.SuspensionTimeout / 2)
+	defer check.Stop()
+
+	m.schedule()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, m.stats, ctx.Err()
+		case <-m.c.closed:
+			return nil, m.stats, fmt.Errorf("engine: cluster closed")
+		case id := <-m.hb:
+			m.lastBeat[id] = time.Now()
+		case ev := <-m.events:
+			m.handle(ev)
+			if m.finished() {
+				return m.results, m.stats, nil
+			}
+			m.schedule()
+		case <-check.C:
+			m.checkFrozen()
+			m.schedule()
+		}
+	}
+}
+
+func (m *master) finished() bool {
+	for _, t := range m.reduces {
+		if !t.done {
+			return false
+		}
+	}
+	return true
+}
+
+// live reports whether a worker heartbeated recently (dedicated workers are
+// always trusted).
+func (m *master) live(worker int) bool {
+	if m.c.workers[worker].dedicated {
+		return true
+	}
+	return time.Since(m.lastBeat[worker]) < m.c.cfg.SuspensionTimeout
+}
+
+// idleWorkers returns live workers with no outstanding attempt, dedicated
+// last so original copies prefer the volatile pool (dedicated capacity is
+// reserved for backups, the MOON hybrid policy).
+func (m *master) idleWorkers() []int {
+	busy := make(map[int]bool)
+	for _, t := range append(append([]*taskState(nil), m.maps...), m.reduces...) {
+		for _, ref := range t.outstanding {
+			busy[ref.worker] = true
+		}
+	}
+	var vol, ded []int
+	for i := range m.c.workers {
+		if busy[i] || !m.live(i) {
+			continue
+		}
+		if m.c.workers[i].dedicated {
+			ded = append(ded, i)
+		} else {
+			vol = append(vol, i)
+		}
+	}
+	return append(vol, ded...)
+}
+
+// schedule assigns pending tasks to idle workers: maps first, then (once
+// all maps are done) reduces.
+func (m *master) schedule() {
+	idle := m.idleWorkers()
+	next := 0
+	take := func() (int, bool) {
+		if next >= len(idle) {
+			return 0, false
+		}
+		w := idle[next]
+		next++
+		return w, true
+	}
+	for _, t := range m.maps {
+		if t.done || len(t.outstanding) > 0 {
+			continue
+		}
+		w, ok := take()
+		if !ok {
+			return
+		}
+		m.launchMap(t, w)
+	}
+	if !m.allMapsDone() {
+		return
+	}
+	for _, t := range m.reduces {
+		if t.done || len(t.outstanding) > 0 {
+			continue
+		}
+		w, ok := take()
+		if !ok {
+			return
+		}
+		m.launchReduce(t, w)
+	}
+}
+
+func (m *master) allMapsDone() bool {
+	for _, t := range m.maps {
+		if !t.done {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFrozen issues backup copies for tasks whose every outstanding
+// attempt sits on a silent worker.
+func (m *master) checkFrozen() {
+	for _, t := range append(append([]*taskState(nil), m.maps...), m.reduces...) {
+		if t.done || len(t.outstanding) == 0 {
+			continue
+		}
+		anyLive := false
+		for _, ref := range t.outstanding {
+			if m.live(ref.worker) {
+				anyLive = true
+				break
+			}
+		}
+		if anyLive {
+			continue
+		}
+		// Frozen: place a backup, preferring dedicated workers.
+		idle := m.idleWorkers()
+		if len(idle) == 0 {
+			continue
+		}
+		target := idle[len(idle)-1] // dedicated sort last in idleWorkers
+		m.stats.BackupCopies++
+		if t.isReduce {
+			m.launchReduce(t, target)
+		} else {
+			m.launchMap(t, target)
+		}
+	}
+}
+
+// launchMap sends a map attempt to a worker.
+func (m *master) launchMap(t *taskState, workerID int) {
+	attempt := t.nextAttempt
+	t.nextAttempt++
+	t.outstanding = append(t.outstanding, attemptRef{attempt: attempt, worker: workerID})
+	m.stats.MapAttempts++
+	input := m.job.Inputs[t.id]
+	job := m.job
+	cfg := m.c.cfg
+	var dedicatedStore *worker
+	if cfg.ReplicateToDedicated {
+		for _, w := range m.c.workers {
+			if w.dedicated {
+				dedicatedStore = w
+				break
+			}
+		}
+	}
+	events := m.events
+	mapID := t.id
+	m.c.workers[workerID].tasks <- task{run: func(w *worker) {
+		parts := make([]map[string][]string, job.Reduces)
+		for p := range parts {
+			parts[p] = make(map[string][]string)
+		}
+		job.Map(input, func(key, value string) {
+			w.gate.wait() // suspension checkpoint at emission granularity
+			p := partitionOf(key, job.Reduces)
+			parts[p][key] = append(parts[p][key], value)
+		})
+		w.gate.wait()
+		holders := []int{w.id}
+		for p, data := range parts {
+			w.putPartition(mapID, attempt, p, data)
+			if dedicatedStore != nil && dedicatedStore != w {
+				dedicatedStore.putPartition(mapID, attempt, p, data)
+			}
+		}
+		if dedicatedStore != nil && dedicatedStore.id != w.id {
+			holders = append(holders, dedicatedStore.id)
+		}
+		events <- masterEvent{kind: evMapDone, taskID: mapID, attempt: attempt, worker: w.id, holders: holders}
+	}}
+}
+
+// launchReduce sends a reduce attempt with a snapshot of the winning map
+// attempts and their holders.
+func (m *master) launchReduce(t *taskState, workerID int) {
+	attempt := t.nextAttempt
+	t.nextAttempt++
+	t.outstanding = append(t.outstanding, attemptRef{attempt: attempt, worker: workerID})
+	m.stats.ReduceAttempts++
+
+	type source struct {
+		mapID, attempt int
+		holders        []int
+	}
+	plan := make([]source, 0, len(m.maps))
+	for _, mt := range m.maps {
+		plan = append(plan, source{mapID: mt.id, attempt: mt.winAttempt, holders: append([]int(nil), mt.holders...)})
+	}
+	job := m.job
+	cfg := m.c.cfg
+	events := m.events
+	workers := m.c.workers
+	partition := t.id
+	reduceID := t.id
+	m.c.workers[workerID].tasks <- task{run: func(w *worker) {
+		merged := make(map[string][]string)
+		var missing []int
+		for _, src := range plan {
+			w.gate.wait()
+			var data map[string][]string
+			got := false
+			for _, h := range src.holders {
+				if h == w.id {
+					w.storeMu.Lock()
+					d, ok := w.store[storeKey{src.mapID, src.attempt, partition}]
+					w.storeMu.Unlock()
+					if ok {
+						data, got = d, true
+						break
+					}
+					continue
+				}
+				reply := make(chan fetchResp, 1)
+				select {
+				case workers[h].fetches <- fetchReq{mapID: src.mapID, attempt: src.attempt, partition: partition, reply: reply}:
+				default:
+					continue // holder's queue jammed; try next
+				}
+				select {
+				case resp := <-reply:
+					if resp.ok {
+						data, got = resp.data, true
+					}
+				case <-time.After(cfg.FetchTimeout):
+				}
+				if got {
+					break
+				}
+			}
+			if !got {
+				missing = append(missing, src.mapID)
+				continue
+			}
+			for k, vs := range data {
+				merged[k] = append(merged[k], vs...)
+			}
+		}
+		if len(missing) > 0 {
+			events <- masterEvent{kind: evReduceStuck, taskID: reduceID, attempt: attempt, worker: w.id, missing: missing}
+			return
+		}
+		out := make(map[string]string, len(merged))
+		for _, k := range sortedKeys(merged) {
+			w.gate.wait()
+			out[k] = job.Reduce(k, merged[k])
+		}
+		events <- masterEvent{kind: evReduceDone, taskID: reduceID, attempt: attempt, worker: w.id, output: out}
+	}}
+}
+
+// handle integrates one worker event.
+func (m *master) handle(ev masterEvent) {
+	switch ev.kind {
+	case evMapDone:
+		t := m.maps[ev.taskID]
+		t.removeOutstanding(ev.attempt)
+		if t.done {
+			return // a sibling already won
+		}
+		t.done = true
+		t.winAttempt = ev.attempt
+		t.holders = ev.holders
+	case evReduceDone:
+		t := m.reduces[ev.taskID]
+		t.removeOutstanding(ev.attempt)
+		if t.done {
+			return
+		}
+		t.done = true
+		for k, v := range ev.output {
+			m.results[k] = v
+		}
+	case evReduceStuck:
+		t := m.reduces[ev.taskID]
+		t.removeOutstanding(ev.attempt)
+		m.stats.FetchFailures += len(ev.missing)
+		if t.done {
+			return
+		}
+		// Re-execute the unreachable maps, then let scheduling relaunch
+		// the reduce.
+		for _, mapID := range ev.missing {
+			mt := m.maps[mapID]
+			if mt.done {
+				mt.done = false
+				mt.holders = nil
+				m.stats.MapReexecs++
+			}
+		}
+	}
+}
+
+func (t *taskState) removeOutstanding(attempt int) {
+	for i, ref := range t.outstanding {
+		if ref.attempt == attempt {
+			t.outstanding = append(t.outstanding[:i], t.outstanding[i+1:]...)
+			return
+		}
+	}
+}

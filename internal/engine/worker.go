@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// gate is a suspend/resume barrier. Open = the worker runs; closed = every
+// checkpoint blocks until reopened. The zero value is open.
+type gate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+}
+
+func newGate() *gate {
+	g := &gate{}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+func (g *gate) close() {
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
+}
+
+func (g *gate) open() {
+	g.mu.Lock()
+	g.closed = false
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// wait blocks while the gate is closed (a suspension checkpoint).
+func (g *gate) wait() {
+	g.mu.Lock()
+	for g.closed {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+func (g *gate) closedNow() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.closed
+}
+
+// task is one unit of work sent to a worker.
+type task struct {
+	run func(w *worker)
+}
+
+// fetchReq asks a worker for one map output partition.
+type fetchReq struct {
+	mapID     int
+	attempt   int
+	partition int
+	reply     chan fetchResp
+}
+
+type fetchResp struct {
+	ok   bool
+	data map[string][]string
+}
+
+// worker is one goroutine executing tasks and serving its local
+// intermediate store. All channel operations pass through the gate so a
+// suspended worker is completely silent.
+type worker struct {
+	id        int
+	dedicated bool
+	cfg       Config
+	gate      *gate
+
+	tasks   chan task
+	fetches chan fetchReq
+
+	// store holds map outputs: (mapID, attempt, partition) → key→values.
+	// Guarded by storeMu: the master's replication path writes dedicated
+	// copies from other goroutines.
+	storeMu sync.Mutex
+	store   map[storeKey]map[string][]string
+
+	// heartbeat outputs the worker's liveness; nil until a master
+	// attaches.
+	hbMu sync.Mutex
+	hb   chan int
+}
+
+type storeKey struct {
+	mapID, attempt, partition int
+}
+
+func newWorker(id int, dedicated bool, cfg Config) *worker {
+	return &worker{
+		id:        id,
+		dedicated: dedicated,
+		cfg:       cfg,
+		gate:      newGate(),
+		tasks:     make(chan task, 64),
+		fetches:   make(chan fetchReq, 64),
+		store:     make(map[storeKey]map[string][]string),
+	}
+}
+
+// attachHeartbeat points the worker's heartbeats at a master.
+func (w *worker) attachHeartbeat(hb chan int) {
+	w.hbMu.Lock()
+	w.hb = hb
+	w.hbMu.Unlock()
+}
+
+func (w *worker) heartbeatTarget() chan int {
+	w.hbMu.Lock()
+	defer w.hbMu.Unlock()
+	return w.hb
+}
+
+// run is the worker's task/heartbeat loop; a companion goroutine serves
+// intermediate-data fetches so a worker busy computing still serves data
+// (as a TaskTracker's HTTP server does). Both loops are gated by
+// suspension.
+func (w *worker) run(closed chan struct{}) {
+	go w.serveFetches(closed)
+	ticker := time.NewTicker(w.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		w.gate.wait()
+		select {
+		case <-closed:
+			return
+		case t := <-w.tasks:
+			t.run(w)
+		case <-ticker.C:
+			if hb := w.heartbeatTarget(); hb != nil {
+				select {
+				case hb <- w.id:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// serveFetches answers intermediate-data requests while the worker is not
+// suspended.
+func (w *worker) serveFetches(closed chan struct{}) {
+	for {
+		w.gate.wait()
+		select {
+		case <-closed:
+			return
+		case req := <-w.fetches:
+			w.gate.wait() // suspended workers serve nothing
+			w.storeMu.Lock()
+			data, ok := w.store[storeKey{req.mapID, req.attempt, req.partition}]
+			w.storeMu.Unlock()
+			select {
+			case req.reply <- fetchResp{ok: ok, data: data}:
+			default:
+			}
+		}
+	}
+}
+
+// putPartition stores one partition of a map attempt's output.
+func (w *worker) putPartition(mapID, attempt, partition int, data map[string][]string) {
+	w.storeMu.Lock()
+	w.store[storeKey{mapID, attempt, partition}] = data
+	w.storeMu.Unlock()
+}
+
+// clearStore drops all intermediate data (between jobs).
+func (w *worker) clearStore() {
+	w.storeMu.Lock()
+	w.store = make(map[storeKey]map[string][]string)
+	w.storeMu.Unlock()
+}

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Ablations isolate the design choices DESIGN.md calls out: each variant
+// switches one MOON mechanism off (or re-parameterizes it) while holding
+// everything else at the paper's settings, on the sleep-sort workload at
+// the main 60V+6D testbed.
+
+// AblationHomestretch sweeps the two-phase scheduler's (H, R) parameters,
+// including off (H=0). The paper reports H=20, R=2 "yields generally good
+// results".
+func AblationHomestretch() []Variant {
+	mk := func(label string, h float64, r int) Variant {
+		return Variant{Label: label, Build: func(cs core.ClusterSpec) (core.Options, workload.Spec) {
+			opts := core.MOONPreset(baseCluster(cs), true)
+			opts.Sched.HomestretchH = h
+			opts.Sched.HomestretchR = r
+			return opts, workload.SleepApp(appSpec("sort"))
+		}}
+	}
+	return []Variant{
+		mk("off", 0, 0),
+		mk("H10-R2", 10, 2),
+		mk("H20-R2", 20, 2), // paper setting
+		mk("H20-R3", 20, 3),
+		mk("H40-R2", 40, 2),
+	}
+}
+
+// AblationSpecCap sweeps the global speculative budget (fraction of
+// available slots; paper: 20%).
+func AblationSpecCap() []Variant {
+	mk := func(label string, frac float64) Variant {
+		return Variant{Label: label, Build: func(cs core.ClusterSpec) (core.Options, workload.Spec) {
+			opts := core.MOONPreset(baseCluster(cs), true)
+			opts.Sched.SpecSlotFraction = frac
+			return opts, workload.SleepApp(appSpec("sort"))
+		}}
+	}
+	return []Variant{
+		mk("cap5%", 0.05),
+		mk("cap20%", 0.20), // paper setting
+		mk("cap50%", 0.50),
+		mk("uncapped", 10),
+	}
+}
+
+// AblationHibernate compares the hibernate interval, including effectively
+// disabling the state (interval just below expiry) so every outage is
+// either invisible or fatal, as in stock HDFS.
+func AblationHibernate(app string) []Variant {
+	mk := func(label string, interval float64) Variant {
+		return Variant{Label: label, Build: func(cs core.ClusterSpec) (core.Options, workload.Spec) {
+			opts := core.MOONPreset(baseCluster(cs), true)
+			opts.DFS.NodeHibernateInterval = interval
+			w := appSpec(app)
+			w.Job.IntermediateFactor = dfs.Factor{D: 1, V: 1}
+			return opts, w
+		}}
+	}
+	return []Variant{
+		mk("hib30s", 30),
+		mk("hib60s", 60), // default
+		mk("hib300s", 300),
+		mk("hib1799s", 1799), // effectively disabled (expiry is 1800)
+	}
+}
+
+// AblationAdaptiveV compares the adaptive volatile degree against pinned
+// degrees by sweeping the availability target (0 disables adaptation in
+// practice because v'=1 always satisfies it).
+func AblationAdaptiveV(app string) []Variant {
+	mk := func(label string, target float64) Variant {
+		return Variant{Label: label, Build: func(cs core.ClusterSpec) (core.Options, workload.Spec) {
+			opts := core.MOONPreset(baseCluster(cs), true)
+			opts.DFS.AvailabilityTarget = target
+			w := appSpec(app)
+			w.Job.IntermediateFactor = dfs.Factor{D: 1, V: 1}
+			return opts, w
+		}}
+	}
+	return []Variant{
+		mk("target0.5", 0.5),
+		mk("target0.9", 0.9), // paper example
+		mk("target0.99", 0.99),
+	}
+}
+
+// RunAblation dispatches a named ablation sweep.
+func (c Config) RunAblation(name, app string) (*Sweep, error) {
+	var vs []Variant
+	switch name {
+	case "homestretch":
+		vs = AblationHomestretch()
+	case "speccap":
+		vs = AblationSpecCap()
+	case "hibernate":
+		vs = AblationHibernate(app)
+	case "adaptive":
+		vs = AblationAdaptiveV(app)
+	default:
+		return nil, fmt.Errorf("harness: unknown ablation %q (homestretch|speccap|hibernate|adaptive)", name)
+	}
+	return c.RunSweep(fmt.Sprintf("Ablation %s (%s)", name, app), vs)
+}
+
+// CorrelatedVariants exercises the paper's Section III scenario — whole
+// lab groups disappearing together on top of independent churn — on the
+// sleep-sort workload. The sweep's unavailability rate drives the
+// *independent* component; the correlated sessions stay fixed at the
+// default lab model, so peak simultaneous unavailability far exceeds the
+// nominal rate.
+func CorrelatedVariants(app string) []Variant {
+	sleep := func() workload.Spec { return workload.SleepApp(appSpec(app)) }
+	withCorr := func(cs core.ClusterSpec) core.ClusterSpec {
+		cc := trace.DefaultCorrelatedConfig()
+		cc.Base = trace.DefaultOutageConfig(cs.UnavailabilityRate)
+		cs.Correlated = &cc
+		return baseCluster(cs)
+	}
+	return []Variant{
+		{Label: "Hadoop1Min", Build: func(cs core.ClusterSpec) (core.Options, workload.Spec) {
+			opts := core.HadoopPreset(withCorr(cs), 60)
+			opts.DFS = dfs.DefaultConfig(dfs.ModeMOON)
+			return opts, sleep()
+		}},
+		{Label: "MOON", Build: func(cs core.ClusterSpec) (core.Options, workload.Spec) {
+			return core.MOONPreset(withCorr(cs), false), sleep()
+		}},
+		{Label: "MOON-Hybrid", Build: func(cs core.ClusterSpec) (core.Options, workload.Spec) {
+			return core.MOONPreset(withCorr(cs), true), sleep()
+		}},
+	}
+}
+
+// RunCorrelated sweeps the correlated-churn comparison.
+func (c Config) RunCorrelated(app string) (*Sweep, error) {
+	return c.RunSweep(fmt.Sprintf("Correlated lab-session churn (%s)", app), CorrelatedVariants(app))
+}

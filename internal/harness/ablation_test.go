@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationVariantCatalogs(t *testing.T) {
+	if got := len(AblationHomestretch()); got != 5 {
+		t.Fatalf("homestretch variants %d, want 5", got)
+	}
+	if got := len(AblationSpecCap()); got != 4 {
+		t.Fatalf("speccap variants %d, want 4", got)
+	}
+	if got := len(AblationHibernate("sort")); got != 4 {
+		t.Fatalf("hibernate variants %d, want 4", got)
+	}
+	if got := len(AblationAdaptiveV("wordcount")); got != 3 {
+		t.Fatalf("adaptive variants %d, want 3", got)
+	}
+	if got := len(CorrelatedVariants("sort")); got != 3 {
+		t.Fatalf("correlated variants %d, want 3", got)
+	}
+}
+
+func TestRunAblationUnknownName(t *testing.T) {
+	_, err := DefaultConfig().RunAblation("nosuch", "sort")
+	if err == nil || !strings.Contains(err.Error(), "unknown ablation") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAblationSweepTiny(t *testing.T) {
+	// One homestretch variant at tiny scale proves the Build functions
+	// produce runnable stacks.
+	cfg := Config{Seeds: []uint64{1}, Scale: 16, Rates: []float64{0.3}}
+	sw, err := cfg.RunSweep("tiny", AblationHomestretch()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sw.Variants {
+		if sw.Get(v, 0.3).Makespan <= 0 {
+			t.Fatalf("variant %s produced no makespan", v)
+		}
+	}
+}
+
+func TestCorrelatedSweepTiny(t *testing.T) {
+	cfg := Config{Seeds: []uint64{1}, Scale: 16, Rates: []float64{0.1}}
+	sw, err := cfg.RunCorrelated("sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Variants) != 3 {
+		t.Fatalf("variants %v", sw.Variants)
+	}
+	for _, v := range sw.Variants {
+		st := sw.Get(v, 0.1)
+		if st.Makespan <= 0 {
+			t.Fatalf("variant %s produced no makespan", v)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package harness defines and runs the paper's experiments: every figure
+// and table of the evaluation section (Figures 1, 4, 5, 6, 7 and Table II)
+// maps to one experiment that sweeps the same configurations the authors
+// swept and prints the same rows/series they report.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mapred"
+	"repro/internal/workload"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Seeds lists the churn realizations to average over.
+	Seeds []uint64
+	// Scale divides workload size (maps, reduces, input) for quick runs;
+	// 1 reproduces the paper's full Table I sizes.
+	Scale int
+	// Rates are the machine-unavailability rates to sweep.
+	Rates []float64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(string)
+}
+
+// DefaultConfig mirrors the paper's sweep with a single seed.
+func DefaultConfig() Config {
+	return Config{Seeds: []uint64{1}, Scale: 1, Rates: []float64{0.1, 0.3, 0.5}}
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Seeds) == 0 {
+		c.Seeds = []uint64{1}
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if len(c.Rates) == 0 {
+		c.Rates = []float64{0.1, 0.3, 0.5}
+	}
+	return c
+}
+
+// RunStats is a seed-averaged run outcome.
+type RunStats struct {
+	Makespan float64
+	// Capped marks runs that hit the simulation horizon before the job
+	// finished (the paper's "could not complete" cases); Makespan is
+	// then the horizon.
+	Capped bool
+
+	AvgMapTime     float64
+	AvgShuffleTime float64
+	AvgReduceTime  float64
+	KilledMaps     float64
+	KilledReduces  float64
+	Duplicated     float64
+	Invalidations  float64
+
+	ReplicationBytes float64
+	Runs             int
+}
+
+// Variant is one configuration line in a figure (e.g. "Hadoop1Min" or
+// "HA-V1"). Build returns the stack options and workload for a given
+// cluster spec; the harness fills in churn rate and seed.
+type Variant struct {
+	Label string
+	Build func(cs core.ClusterSpec) (core.Options, workload.Spec)
+}
+
+// runOne executes a single simulation.
+func runOne(opts core.Options, w workload.Spec) (core.Result, error) {
+	s, err := core.NewForWorkload(opts, w)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return s.RunWorkload(w)
+}
+
+// runAveraged runs a variant at one rate across all seeds and averages.
+func (c Config) runAveraged(v Variant, rate float64) (RunStats, error) {
+	var st RunStats
+	for _, seed := range c.Seeds {
+		cs := core.ClusterSpec{UnavailabilityRate: rate, Seed: seed}
+		opts, w := v.Build(cs)
+		w = workload.Scale(w, c.Scale)
+		res, err := runOne(opts, w)
+		if err != nil {
+			return RunStats{}, fmt.Errorf("%s rate=%.1f seed=%d: %w", v.Label, rate, seed, err)
+		}
+		p := res.Profile
+		st.Makespan += p.Makespan
+		st.AvgMapTime += p.AvgMapTime
+		st.AvgShuffleTime += p.AvgShuffleTime
+		st.AvgReduceTime += p.AvgReduceTime
+		st.KilledMaps += float64(p.KilledMaps)
+		st.KilledReduces += float64(p.KilledReduces)
+		st.Duplicated += float64(p.DuplicatedTasks)
+		st.Invalidations += float64(p.MapInvalidations)
+		st.ReplicationBytes += res.DFS.ReplicationBytes
+		if res.HitHorizon || p.State != mapred.JobSucceeded {
+			st.Capped = true
+		}
+		st.Runs++
+		if c.Progress != nil {
+			c.Progress(fmt.Sprintf("%-14s rate=%.1f seed=%d makespan=%.0fs dup=%d killedM=%d capped=%v "+
+				"map=%.0fs shuffle=%.0fs reduce=%.0fs declines=%d raises=%d repGB=%.1f stalls=%d",
+				v.Label, rate, seed, p.Makespan, p.DuplicatedTasks, p.KilledMaps, res.HitHorizon,
+				p.AvgMapTime, p.AvgShuffleTime, p.AvgReduceTime,
+				res.DFS.DedicatedDeclines, res.DFS.AdaptiveRaises, res.DFS.ReplicationBytes/1e9,
+				res.DFS.ReadStalls))
+		}
+	}
+	n := float64(st.Runs)
+	st.Makespan /= n
+	st.AvgMapTime /= n
+	st.AvgShuffleTime /= n
+	st.AvgReduceTime /= n
+	st.KilledMaps /= n
+	st.KilledReduces /= n
+	st.Duplicated /= n
+	st.Invalidations /= n
+	st.ReplicationBytes /= n
+	return st, nil
+}
+
+// Sweep is a complete figure's data: variant × rate → stats.
+type Sweep struct {
+	Title    string
+	Variants []string
+	Rates    []float64
+	Cells    map[string]map[float64]RunStats
+}
+
+// RunSweep evaluates every variant at every rate.
+func (c Config) RunSweep(title string, variants []Variant) (*Sweep, error) {
+	c = c.withDefaults()
+	sw := &Sweep{Title: title, Rates: c.Rates, Cells: make(map[string]map[float64]RunStats)}
+	for _, v := range variants {
+		sw.Variants = append(sw.Variants, v.Label)
+		sw.Cells[v.Label] = make(map[float64]RunStats)
+		for _, rate := range c.Rates {
+			st, err := c.runAveraged(v, rate)
+			if err != nil {
+				return nil, err
+			}
+			sw.Cells[v.Label][rate] = st
+		}
+	}
+	return sw, nil
+}
+
+// Get returns the stats for a variant/rate cell.
+func (sw *Sweep) Get(label string, rate float64) RunStats { return sw.Cells[label][rate] }
+
+// Best returns the variant with the lowest makespan at a rate, restricted
+// to labels with the given prefix (e.g. the paper's "best VO
+// configuration").
+func (sw *Sweep) Best(prefix string, rate float64) (string, RunStats) {
+	bestLabel, best := "", RunStats{Makespan: -1}
+	var labels []string
+	labels = append(labels, sw.Variants...)
+	sort.Strings(labels)
+	for _, l := range labels {
+		if len(l) < len(prefix) || l[:len(prefix)] != prefix {
+			continue
+		}
+		st := sw.Cells[l][rate]
+		if best.Makespan < 0 || st.Makespan < best.Makespan {
+			bestLabel, best = l, st
+		}
+	}
+	return bestLabel, best
+}

@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps harness tests fast: 1 seed, 1/16-scale workloads, two
+// churn rates.
+func tinyConfig() Config {
+	return Config{Seeds: []uint64{1}, Scale: 16, Rates: []float64{0.1, 0.5}}
+}
+
+func TestSchedulingVariantsComplete(t *testing.T) {
+	vs := SchedulingVariants("sort")
+	if len(vs) != 5 {
+		t.Fatalf("got %d scheduling variants", len(vs))
+	}
+	labels := map[string]bool{}
+	for _, v := range vs {
+		labels[v.Label] = true
+	}
+	for _, want := range []string{"Hadoop10Min", "Hadoop5Min", "Hadoop1Min", "MOON", "MOON-Hybrid"} {
+		if !labels[want] {
+			t.Fatalf("missing variant %s", want)
+		}
+	}
+}
+
+func TestReplicationVariantsComplete(t *testing.T) {
+	vs := ReplicationVariants("wordcount")
+	if len(vs) != 8 {
+		t.Fatalf("got %d replication variants, want 8 (VO-V1..5, HA-V1..3)", len(vs))
+	}
+}
+
+func TestOverallVariantsComplete(t *testing.T) {
+	vs := OverallVariants("sort", 3)
+	if len(vs) != 4 {
+		t.Fatalf("got %d overall variants", len(vs))
+	}
+	if vs[0].Label != "Hadoop-VO" {
+		t.Fatalf("first variant %s, want Hadoop-VO", vs[0].Label)
+	}
+}
+
+func TestUnknownAppPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown app did not panic")
+		}
+	}()
+	appSpec("nosuch")
+}
+
+func TestRunSweepAndRender(t *testing.T) {
+	cfg := tinyConfig()
+	var progress []string
+	cfg.Progress = func(s string) { progress = append(progress, s) }
+	sw, err := cfg.RunSweep("test sweep", SchedulingVariants("sort")[2:4]) // Hadoop1Min, MOON
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Variants) != 2 || len(sw.Rates) != 2 {
+		t.Fatalf("sweep shape %dx%d", len(sw.Variants), len(sw.Rates))
+	}
+	if len(progress) != 4 {
+		t.Fatalf("progress lines %d, want 4", len(progress))
+	}
+	for _, v := range sw.Variants {
+		for _, r := range sw.Rates {
+			st := sw.Get(v, r)
+			if st.Runs != 1 || st.Makespan <= 0 {
+				t.Fatalf("cell %s/%v = %+v", v, r, st)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := sw.RenderTimes(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Hadoop1Min") || !strings.Contains(out, "0.5") {
+		t.Fatalf("times table malformed:\n%s", out)
+	}
+	buf.Reset()
+	if err := sw.RenderDuplicates(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "duplicated tasks") {
+		t.Fatal("duplicates table missing header")
+	}
+}
+
+func TestSweepBest(t *testing.T) {
+	sw := &Sweep{
+		Variants: []string{"VO-V1", "VO-V2", "HA-V1"},
+		Rates:    []float64{0.5},
+		Cells: map[string]map[float64]RunStats{
+			"VO-V1": {0.5: {Makespan: 300}},
+			"VO-V2": {0.5: {Makespan: 200}},
+			"HA-V1": {0.5: {Makespan: 100}},
+		},
+	}
+	label, st := sw.Best("VO", 0.5)
+	if label != "VO-V2" || st.Makespan != 200 {
+		t.Fatalf("Best(VO) = %s/%v", label, st.Makespan)
+	}
+	label, _ = sw.Best("HA", 0.5)
+	if label != "HA-V1" {
+		t.Fatalf("Best(HA) = %s", label)
+	}
+	if label, _ := sw.Best("ZZ", 0.5); label != "" {
+		t.Fatalf("Best(ZZ) = %q, want empty", label)
+	}
+}
+
+func TestRenderTable2(t *testing.T) {
+	sw := &Sweep{
+		Variants: Table2Policies,
+		Rates:    []float64{0.5},
+		Cells:    map[string]map[float64]RunStats{},
+	}
+	for i, p := range Table2Policies {
+		sw.Cells[p] = map[float64]RunStats{0.5: {
+			AvgMapTime: float64(20 + i), AvgShuffleTime: 100, AvgReduceTime: 50,
+			KilledMaps: float64(10 * i), KilledReduces: 1,
+		}}
+	}
+	var buf bytes.Buffer
+	if err := RenderTable2(&buf, "sort", sw); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Avg Map Time", "Avg Shuffle Time", "Avg #Killed Maps", "VO-V1", "HA-V1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table II missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1Renders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig1(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"DAY1", "DAY7", "09:00", "average unavailability"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig1 output missing %q", want)
+		}
+	}
+}
+
+func TestCappedRendering(t *testing.T) {
+	sw := &Sweep{
+		Variants: []string{"X"},
+		Rates:    []float64{0.5},
+		Cells:    map[string]map[float64]RunStats{"X": {0.5: {Makespan: 28800, Capped: true}}},
+	}
+	var buf bytes.Buffer
+	if err := sw.RenderTimes(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ">28800") {
+		t.Fatalf("capped cell not marked: %s", buf.String())
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if len(cfg.Rates) != 3 || cfg.Scale != 1 || len(cfg.Seeds) != 1 {
+		t.Fatalf("default config %+v", cfg)
+	}
+	var zero Config
+	z := zero.withDefaults()
+	if len(z.Rates) == 0 || z.Scale == 0 || len(z.Seeds) == 0 {
+		t.Fatalf("withDefaults left zeros: %+v", z)
+	}
+}

@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// RenderTimes prints a sweep's execution-time matrix (rates × variants),
+// the layout of Figures 4, 6 and 7. Capped cells (job did not finish
+// before the trace horizon) are prefixed with '>'.
+func (sw *Sweep) RenderTimes(w io.Writer) error {
+	return sw.render(w, "execution time (s)", func(st RunStats) string {
+		if st.Capped {
+			return fmt.Sprintf(">%.0f", st.Makespan)
+		}
+		return fmt.Sprintf("%.0f", st.Makespan)
+	})
+}
+
+// RenderDuplicates prints the duplicated-task matrix (Figure 5).
+func (sw *Sweep) RenderDuplicates(w io.Writer) error {
+	return sw.render(w, "duplicated tasks", func(st RunStats) string {
+		return fmt.Sprintf("%.0f", st.Duplicated)
+	})
+}
+
+func (sw *Sweep) render(w io.Writer, what string, cell func(RunStats) string) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", sw.Title, what); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "unavail")
+	for _, v := range sw.Variants {
+		fmt.Fprintf(tw, "\t%s", v)
+	}
+	fmt.Fprintln(tw)
+	for _, rate := range sw.Rates {
+		fmt.Fprintf(tw, "%.1f", rate)
+		for _, v := range sw.Variants {
+			fmt.Fprintf(tw, "\t%s", cell(sw.Cells[v][rate]))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// RenderTable2 prints the execution profile at the 0.5 unavailability rate
+// in the layout of the paper's Table II.
+func RenderTable2(w io.Writer, app string, sw *Sweep) error {
+	rate := sw.Rates[len(sw.Rates)-1]
+	if _, err := fmt.Fprintf(w, "Table II (%s) — execution profile at %.1f unavailability\n", app, rate); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "metric")
+	for _, p := range Table2Policies {
+		fmt.Fprintf(tw, "\t%s", p)
+	}
+	fmt.Fprintln(tw)
+	row := func(name string, get func(RunStats) string) {
+		fmt.Fprint(tw, name)
+		for _, p := range Table2Policies {
+			fmt.Fprintf(tw, "\t%s", get(sw.Cells[p][rate]))
+		}
+		fmt.Fprintln(tw)
+	}
+	row("Avg Map Time (s)", func(st RunStats) string { return fmt.Sprintf("%.1f", st.AvgMapTime) })
+	row("Avg Shuffle Time (s)", func(st RunStats) string { return fmt.Sprintf("%.1f", st.AvgShuffleTime) })
+	row("Avg Reduce Time (s)", func(st RunStats) string { return fmt.Sprintf("%.1f", st.AvgReduceTime) })
+	row("Avg #Killed Maps", func(st RunStats) string { return fmt.Sprintf("%.1f", st.KilledMaps) })
+	row("Avg #Killed Reduces", func(st RunStats) string { return fmt.Sprintf("%.1f", st.KilledReduces) })
+	return tw.Flush()
+}
+
+// Fig1 generates and renders the availability trace study of Figure 1:
+// per-day percentage of unavailable resources, sampled every 10 minutes
+// over a 9AM-5PM window.
+func Fig1(w io.Writer, seed uint64) error {
+	days := trace.GenerateFig1(rng.New(seed), trace.DefaultFig1Config())
+	fmt.Fprintln(w, "Fig 1: percentage of unavailable resources (10-minute samples, 9AM-5PM)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "time")
+	for _, d := range days {
+		fmt.Fprintf(tw, "\tDAY%d", d.Day)
+	}
+	fmt.Fprintln(tw)
+	if len(days) == 0 {
+		return tw.Flush()
+	}
+	sum, n := 0.0, 0
+	for i := range days[0].Series {
+		hour := 9 + float64(i)*600/3600
+		fmt.Fprintf(tw, "%02d:%02d", int(hour), int(hour*60)%60)
+		for _, d := range days {
+			fmt.Fprintf(tw, "\t%.0f%%", d.Series[i]*100)
+			sum += d.Series[i]
+			n++
+		}
+		fmt.Fprintln(tw)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "average unavailability: %.2f (paper: ~0.4)\n", sum/float64(n))
+	return err
+}

@@ -1,0 +1,75 @@
+package harness
+
+import "testing"
+
+// TestPaperShapesHold is the reproduction's regression guard: at reduced
+// scale and the highest churn rate, the paper's qualitative claims must
+// hold. Skipped under -short (it runs a dozen full simulations).
+func TestPaperShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-simulation shape check")
+	}
+	cfg := Config{Seeds: []uint64{1, 2}, Scale: 4, Rates: []float64{0.5}}
+
+	t.Run("Fig4_MOONHybridBeatsHadoop", func(t *testing.T) {
+		sw, err := cfg.Fig4("sort")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hybrid := sw.Get("MOON-Hybrid", 0.5).Makespan
+		for _, h := range []string{"Hadoop10Min", "Hadoop5Min"} {
+			if got := sw.Get(h, 0.5).Makespan; hybrid >= got {
+				t.Errorf("MOON-Hybrid (%.0f) not faster than %s (%.0f) at 0.5", hybrid, h, got)
+			}
+		}
+		// Fig 5 from the same sweep: MOON must not out-duplicate the most
+		// kill-happy Hadoop setting by more than its homestretch budget
+		// (at 1/4 scale the proactive tail copies weigh more than at the
+		// paper's full scale, where MOON is strictly below Hadoop1Min).
+		if m, h := sw.Get("MOON", 0.5).Duplicated, sw.Get("Hadoop1Min", 0.5).Duplicated; m > 1.5*h {
+			t.Errorf("MOON duplicates %.0f far exceed Hadoop1Min's %.0f", m, h)
+		}
+	})
+
+	t.Run("Fig6_HABeatsVO1", func(t *testing.T) {
+		// Only the two endpoints of the comparison, to bound runtime.
+		vs := ReplicationVariants("sort")
+		var subset []Variant
+		for _, v := range vs {
+			if v.Label == "VO-V1" || v.Label == "HA-V1" {
+				subset = append(subset, v)
+			}
+		}
+		sw, err := cfg.RunSweep("fig6 endpoints", subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vo := sw.Get("VO-V1", 0.5)
+		ha := sw.Get("HA-V1", 0.5)
+		if ha.Makespan >= vo.Makespan {
+			t.Errorf("HA-V1 (%.0f) not faster than VO-V1 (%.0f) at 0.5", ha.Makespan, vo.Makespan)
+		}
+		if ha.KilledMaps >= vo.KilledMaps {
+			t.Errorf("HA-V1 killed maps (%.0f) not below VO-V1's (%.0f)", ha.KilledMaps, vo.KilledMaps)
+		}
+	})
+
+	t.Run("Fig7_MOONBeatsHadoopVO", func(t *testing.T) {
+		vs := OverallVariants("sort", 3)
+		var subset []Variant
+		for _, v := range vs {
+			if v.Label == "Hadoop-VO" || v.Label == "MOON-HybridD6" {
+				subset = append(subset, v)
+			}
+		}
+		sw, err := cfg.RunSweep("fig7 endpoints", subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moon := sw.Get("MOON-HybridD6", 0.5).Makespan
+		hvo := sw.Get("Hadoop-VO", 0.5).Makespan
+		if moon >= hvo {
+			t.Errorf("MOON-HybridD6 (%.0f) not faster than Hadoop-VO (%.0f) at 0.5", moon, hvo)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package mapred
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/netmodel"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// BenchmarkSmallJobUnderChurn measures an end-to-end MOON job (16 maps,
+// 4 reduces, 10 volatile + 2 dedicated nodes, 0.4 unavailability) through
+// the full simulated stack.
+func BenchmarkSmallJobUnderChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := sim.New()
+		traces, err := trace.GenerateFleet(rng.New(uint64(i+1)), trace.DefaultOutageConfig(0.4), 1e5, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := cluster.New(s, cluster.Config{VolatileTraces: traces, DedicatedNodes: 2})
+		net := netmodel.New(s, c, netmodel.Config{NodeBandwidth: 1e6, DiskBandwidth: 4e6, StallTimeout: 30})
+		dcfg := dfs.DefaultConfig(dfs.ModeMOON)
+		dcfg.BlockSize = 1e6
+		f, err := dfs.New(s, c, net, dcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jt, err := NewJobTracker(s, c, f, net, DefaultSchedConfig(PolicyMOON))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := JobConfig{
+			Name: "bench", NumMaps: 16, NumReduces: 4, InputFile: "in",
+			MapCPU: 20, ReduceCPU: 10,
+			IntermediatePerMap: 2e5, IntermediateClass: dfs.Opportunistic,
+			IntermediateFactor: dfs.Factor{D: 1, V: 1},
+			OutputPerReduce:    2e5, OutputFactor: dfs.Factor{D: 1, V: 2},
+		}
+		if _, err := f.CreateStaged("in", 16e6, dfs.Reliable, dfs.Factor{D: 1, V: 2}); err != nil {
+			b.Fatal(err)
+		}
+		done := false
+		if _, err := jt.Submit(cfg, func(*Job) { done = true; s.Stop() }); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		s.RunUntil(1e5)
+		if !done {
+			b.Fatal("job did not finish")
+		}
+	}
+}

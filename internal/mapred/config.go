@@ -1,0 +1,231 @@
+// Package mapred implements the MapReduce execution layer of the
+// reproduction: a Hadoop-0.17-style JobTracker/TaskTracker runtime with
+// progress scores, speculative execution, fetch-failure handling and task
+// kill/re-execution — plus the MOON scheduling extensions (frozen/slow
+// straggler separation, suspension detection with inactive instances, a
+// global speculative cap, two-phase homestretch replication, and
+// hybrid-aware placement on dedicated nodes).
+//
+// Tasks are resource models, not user code: a map is "read an input block,
+// compute for S seconds, write I bytes of intermediate data through the
+// DFS"; a reduce is "shuffle partitions from every map, compute, write
+// output". That is precisely the granularity at which the paper's
+// evaluation operates (its scheduling experiments even use the sleep app
+// with calibrated durations). The live goroutine engine in internal/engine
+// runs real user Map/Reduce functions with the same policies.
+package mapred
+
+import (
+	"fmt"
+
+	"repro/internal/dfs"
+)
+
+// Policy selects the scheduling algorithm.
+type Policy int
+
+const (
+	// PolicyHadoop is stock Hadoop 0.17 speculative scheduling.
+	PolicyHadoop Policy = iota
+	// PolicyMOON is the paper's two-phase, volatility-aware scheduler.
+	PolicyMOON
+)
+
+func (p Policy) String() string {
+	if p == PolicyMOON {
+		return "moon"
+	}
+	return "hadoop"
+}
+
+// SchedConfig parameterizes the JobTracker.
+type SchedConfig struct {
+	Policy Policy
+	// Hybrid enables MOON's awareness of dedicated nodes: speculative
+	// and homestretch copies prefer dedicated slots, and tasks that
+	// already have an active dedicated copy get the lowest replication
+	// priority and skip the homestretch.
+	Hybrid bool
+
+	MapSlotsPerNode    int // Hadoop default M = 2
+	ReduceSlotsPerNode int // Hadoop default R = 2
+
+	// HeartbeatInterval is the TaskTracker heartbeat / scheduling tick.
+	HeartbeatInterval float64
+
+	// TrackerExpiry: a TaskTracker silent this long is declared dead and
+	// its task instances are killed (Hadoop default 10 min; the paper
+	// sweeps 1/5/10 min for Hadoop and uses 30 min for MOON).
+	TrackerExpiry float64
+
+	// SuspensionInterval (MOON): a TaskTracker silent this long is
+	// *suspended* — instances become inactive (triggering frozen-task
+	// handling) but are not killed.
+	SuspensionInterval float64
+
+	// SpeculativeCap is the per-task cap on speculative copies beyond
+	// the original (Hadoop default 1). Frozen tasks under MOON ignore it.
+	SpeculativeCap int
+
+	// SpecSlotFraction (MOON): cap on concurrent speculative instances
+	// of a job, as a fraction of currently available execution slots
+	// (paper: 20%).
+	SpecSlotFraction float64
+
+	// HomestretchH and HomestretchR (MOON): the homestretch phase begins
+	// when remaining tasks < H% of available slots; each remaining task
+	// is then kept at >= R active copies (paper: H=20, R=2).
+	HomestretchH float64
+	HomestretchR int
+
+	// Straggler criteria (Hadoop): running longer than
+	// StragglerMinRuntime with progress at least StragglerGap behind the
+	// average.
+	StragglerMinRuntime float64
+	StragglerGap        float64
+
+	// ReduceSlowstart launches reduces once this fraction of maps
+	// finished.
+	ReduceSlowstart float64
+
+	// ParallelCopies is the reducer's concurrent fetch limit (Hadoop 5).
+	ParallelCopies int
+
+	// FetchRetryInterval is the pause before a reducer retries a failed
+	// fetch.
+	FetchRetryInterval float64
+
+	// FetchReportThreshold: a reducer notifies the JobTracker about a
+	// map output only after this many failed fetch attempts of its own
+	// (Hadoop reducers penalize and retry a host several times before
+	// sending a fetch-failure notification).
+	FetchReportThreshold int
+
+	// HadoopFetchFailureFraction: re-execute a map when more than this
+	// fraction of running reducers report fetch failures against it.
+	HadoopFetchFailureFraction float64
+
+	// MoonFetchFailureCount: after this many fetch failures for one map
+	// output, MOON queries the DFS for live replicas and re-executes the
+	// map immediately if none exist.
+	MoonFetchFailureCount int
+
+	// FastFetchReaction applies the MOON query rule above even under the
+	// Hadoop policy. The paper found stock Hadoop's >50%-of-reducers
+	// rule so slow that "a typical job runs for hours" and patched the
+	// same remedy into its augmented Hadoop baseline (Section VI-B); the
+	// Hadoop-VO runs of Figure 7 use this flag.
+	FastFetchReaction bool
+
+	// InputReadRetries bounds how many times a map attempt re-polls the
+	// DFS for its input block during churn before the attempt fails.
+	InputReadRetries int
+
+	// MaxTaskAttempts aborts the job when any single task fails this
+	// many times (Hadoop kills a job after 4 failed attempts of a task).
+	MaxTaskAttempts int
+}
+
+// DefaultSchedConfig returns the paper's settings for each policy.
+func DefaultSchedConfig(p Policy) SchedConfig {
+	cfg := SchedConfig{
+		Policy:                     p,
+		MapSlotsPerNode:            2,
+		ReduceSlotsPerNode:         2,
+		HeartbeatInterval:          3,
+		TrackerExpiry:              600, // Hadoop default: 10 min
+		SuspensionInterval:         0,
+		SpeculativeCap:             1,
+		SpecSlotFraction:           0.2,
+		HomestretchH:               20,
+		HomestretchR:               2,
+		StragglerMinRuntime:        60,
+		StragglerGap:               0.2,
+		ReduceSlowstart:            0.05,
+		ParallelCopies:             5,
+		FetchRetryInterval:         15,
+		FetchReportThreshold:       3,
+		HadoopFetchFailureFraction: 0.5,
+		InputReadRetries:           40,
+		MoonFetchFailureCount:      3,
+		MaxTaskAttempts:            12,
+	}
+	if p == PolicyMOON {
+		cfg.TrackerExpiry = 1800 // 30 min
+		cfg.SuspensionInterval = 60
+	}
+	return cfg
+}
+
+// Validate rejects incoherent scheduler configurations.
+func (c SchedConfig) Validate() error {
+	if c.MapSlotsPerNode <= 0 || c.ReduceSlotsPerNode <= 0 {
+		return fmt.Errorf("mapred: slots per node must be positive")
+	}
+	if c.Policy == PolicyMOON && c.SuspensionInterval >= c.TrackerExpiry {
+		return fmt.Errorf("mapred: suspension interval %v must be < tracker expiry %v",
+			c.SuspensionInterval, c.TrackerExpiry)
+	}
+	if c.HeartbeatInterval <= 0 {
+		return fmt.Errorf("mapred: heartbeat interval must be positive")
+	}
+	if c.MaxTaskAttempts < 1 {
+		return fmt.Errorf("mapred: max task attempts must be >= 1")
+	}
+	return nil
+}
+
+// JobConfig describes one MapReduce job as a resource model.
+type JobConfig struct {
+	Name string
+
+	NumMaps    int
+	NumReduces int
+
+	// InputFile is the staged DFS input; map i reads block i.
+	InputFile string
+
+	// MapCPU / ReduceCPU are per-task compute seconds (excluding all
+	// I/O, which is simulated through the DFS and network).
+	MapCPU    float64
+	ReduceCPU float64
+
+	// IntermediatePerMap is each map's output size in bytes, written to
+	// the DFS with IntermediateClass/IntermediateFactor. Every reducer
+	// fetches 1/NumReduces of it during shuffle.
+	IntermediatePerMap float64
+	IntermediateClass  dfs.FileClass
+	IntermediateFactor dfs.Factor
+
+	// OutputPerReduce is each reduce's output size in bytes. Under MOON
+	// it is written opportunistic and committed (converted to reliable
+	// and topped up) at job end; under Hadoop it is written directly at
+	// OutputFactor.
+	OutputPerReduce float64
+	OutputFactor    dfs.Factor
+
+	// SkipInputRead makes maps start computing without reading an input
+	// block — the sleep app's behaviour (its splits are synthetic, so
+	// the paper's scheduling experiments exercise no input I/O).
+	SkipInputRead bool
+}
+
+// Validate rejects impossible job descriptions.
+func (c JobConfig) Validate() error {
+	if c.NumMaps <= 0 || c.NumReduces < 0 {
+		return fmt.Errorf("mapred: job %q needs maps > 0, reduces >= 0", c.Name)
+	}
+	if c.MapCPU < 0 || c.ReduceCPU < 0 {
+		return fmt.Errorf("mapred: job %q has negative compute time", c.Name)
+	}
+	if c.IntermediatePerMap < 0 || c.OutputPerReduce < 0 {
+		return fmt.Errorf("mapred: job %q has negative data sizes", c.Name)
+	}
+	if err := c.IntermediateFactor.Validate(); err != nil && c.IntermediatePerMap > 0 {
+		return err
+	}
+	if err := c.OutputFactor.Validate(); err != nil && c.OutputPerReduce > 0 && c.NumReduces > 0 {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package mapred
+
+import "fmt"
+
+// JobState tracks the lifecycle of a submitted job.
+type JobState int
+
+const (
+	JobRunning JobState = iota
+	JobCommitting
+	JobSucceeded
+	JobFailed
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobRunning:
+		return "running"
+	case JobCommitting:
+		return "committing"
+	case JobSucceeded:
+		return "succeeded"
+	case JobFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("JobState(%d)", int(s))
+}
+
+// Job is one submitted MapReduce job.
+type Job struct {
+	cfg JobConfig
+
+	maps    []*Task
+	reduces []*Task
+
+	state       JobState
+	submittedAt float64
+	finishedAt  float64
+	failReason  string
+
+	mapsCompleted    int
+	reducesCompleted int
+
+	// Profile accumulators.
+	mapTimeSum       float64 // successful map attempt durations
+	mapTimeCount     int
+	shuffleTimeSum   float64 // reduce start → shuffle complete
+	shuffleTimeCount int
+	reduceTimeSum    float64 // compute start → attempt success
+	reduceTimeCount  int
+
+	killedMaps    int // map attempts terminated without success + invalidated outputs
+	killedReduces int // reduce attempts terminated without success
+
+	onDone func(*Job)
+}
+
+// Config returns the job's configuration.
+func (j *Job) Config() JobConfig { return j.cfg }
+
+// State returns the job's current state.
+func (j *Job) State() JobState { return j.state }
+
+// Done reports whether the job reached a terminal state.
+func (j *Job) Done() bool { return j.state == JobSucceeded || j.state == JobFailed }
+
+// FailReason describes why a failed job failed.
+func (j *Job) FailReason() string { return j.failReason }
+
+// Profile is the per-job execution profile — the columns of the paper's
+// Table II plus the duplicated-task count of Figure 5 and the makespan of
+// Figures 4, 6 and 7.
+type Profile struct {
+	Job      string
+	State    JobState
+	Makespan float64 // submit → success (or failure)
+
+	AvgMapTime     float64
+	AvgShuffleTime float64
+	AvgReduceTime  float64
+
+	KilledMaps    int
+	KilledReduces int
+
+	// DuplicatedTasks counts every attempt beyond each task's first —
+	// speculative copies plus kill/loss re-executions.
+	DuplicatedTasks int
+
+	MapInvalidations int // completed map outputs declared lost
+}
+
+// Profile summarizes the job after it finishes.
+func (j *Job) Profile() Profile {
+	p := Profile{
+		Job:           j.cfg.Name,
+		State:         j.state,
+		Makespan:      j.finishedAt - j.submittedAt,
+		KilledMaps:    j.killedMaps,
+		KilledReduces: j.killedReduces,
+	}
+	if j.mapTimeCount > 0 {
+		p.AvgMapTime = j.mapTimeSum / float64(j.mapTimeCount)
+	}
+	if j.shuffleTimeCount > 0 {
+		p.AvgShuffleTime = j.shuffleTimeSum / float64(j.shuffleTimeCount)
+	}
+	if j.reduceTimeCount > 0 {
+		p.AvgReduceTime = j.reduceTimeSum / float64(j.reduceTimeCount)
+	}
+	for _, t := range j.maps {
+		p.DuplicatedTasks += t.attempts - 1
+		p.MapInvalidations += t.invalidations
+	}
+	for _, t := range j.reduces {
+		p.DuplicatedTasks += t.attempts - 1
+	}
+	return p
+}
+
+// remainingTasks counts incomplete tasks of the job.
+func (j *Job) remainingTasks() int {
+	return len(j.maps) - j.mapsCompleted + len(j.reduces) - j.reducesCompleted
+}
+
+// MapsCompleted returns the number of completed (and not invalidated) maps.
+func (j *Job) MapsCompleted() int { return j.mapsCompleted }
+
+// ReducesCompleted returns the number of completed reduces.
+func (j *Job) ReducesCompleted() int { return j.reducesCompleted }
+
+// Tasks returns the job's map and reduce task lists (read-only view for
+// monitoring and tests).
+func (j *Job) Tasks() (maps, reduces []*Task) { return j.maps, j.reduces }
+
+// AttemptsOf exposes a task's historical attempt count (diagnostics).
+func AttemptsOf(t *Task) int { return t.attempts }

@@ -1,0 +1,430 @@
+package mapred
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/dfs"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// JobTracker is the master: it owns the task trackers, assigns tasks on
+// heartbeats, detects suspended and dead trackers, drives speculative
+// execution under the configured policy, and reacts to fetch failures.
+//
+// Like the paper's evaluation, it runs one job at a time.
+type JobTracker struct {
+	sim *sim.Simulation
+	cl  *cluster.Cluster
+	fs  *dfs.FileSystem
+	net *netmodel.Network
+	cfg SchedConfig
+
+	trackers []*TaskTracker
+	job      *Job
+
+	scheduleSeq int
+
+	// hadoopFetchReporters tracks, per map index, the distinct reduce
+	// tasks reporting fetch failures (Hadoop's >50% rule).
+	hadoopFetchReporters []map[int]bool
+
+	commitTicker func()
+}
+
+// NewJobTracker wires the runtime to the cluster, DFS and network.
+func NewJobTracker(s *sim.Simulation, cl *cluster.Cluster, fs *dfs.FileSystem, net *netmodel.Network, cfg SchedConfig) (*JobTracker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	jt := &JobTracker{sim: s, cl: cl, fs: fs, net: net, cfg: cfg}
+	for _, n := range cl.Nodes {
+		tt := &TaskTracker{node: n, mapSlots: cfg.MapSlotsPerNode, reduceSlots: cfg.ReduceSlotsPerNode}
+		jt.trackers = append(jt.trackers, tt)
+		node := n
+		n.Watch(func(_ *cluster.Node, available bool) { jt.trackerChanged(node, available) })
+	}
+	s.Ticker(cfg.HeartbeatInterval, "jt.heartbeat", jt.tick)
+	return jt, nil
+}
+
+// Submit starts a job; onDone fires when it succeeds or fails.
+func (jt *JobTracker) Submit(cfg JobConfig, onDone func(*Job)) (*Job, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if jt.job != nil && !jt.job.Done() {
+		return nil, fmt.Errorf("mapred: a job is already running")
+	}
+	if !jt.fs.Exists(cfg.InputFile) {
+		return nil, fmt.Errorf("mapred: input file %q not staged", cfg.InputFile)
+	}
+	j := &Job{cfg: cfg, submittedAt: jt.sim.Now(), onDone: onDone}
+	for i := 0; i < cfg.NumMaps; i++ {
+		j.maps = append(j.maps, &Task{Type: MapTask, Index: i, job: j})
+	}
+	for i := 0; i < cfg.NumReduces; i++ {
+		j.reduces = append(j.reduces, &Task{Type: ReduceTask, Index: i, job: j})
+	}
+	jt.job = j
+	jt.hadoopFetchReporters = make([]map[int]bool, cfg.NumMaps)
+	jt.tick() // assign immediately rather than waiting a heartbeat
+	return j, nil
+}
+
+// Job returns the current job (may be finished).
+func (jt *JobTracker) Job() *Job { return jt.job }
+
+// --- tracker liveness -------------------------------------------------------
+
+func (jt *JobTracker) trackerChanged(n *cluster.Node, available bool) {
+	tt := jt.trackers[n.ID]
+	if !available {
+		// Physical effect: compute on the node freezes immediately.
+		for _, in := range tt.running {
+			jt.pauseCompute(in)
+		}
+		// Master-side detection, driven by missing heartbeats.
+		if jt.cfg.SuspensionInterval > 0 {
+			tt.suspendEv = jt.sim.After(jt.cfg.SuspensionInterval, "jt.suspect", func() {
+				tt.suspected = true
+				for _, in := range tt.running {
+					in.inactive = true
+				}
+			})
+		}
+		tt.expireEv = jt.sim.After(jt.cfg.TrackerExpiry, "jt.expire", func() {
+			tt.expired = true
+			tt.suspected = false
+			for _, in := range append([]*Instance(nil), tt.running...) {
+				jt.killInstance(in, "tracker expired")
+			}
+		})
+		return
+	}
+	jt.sim.Cancel(tt.suspendEv)
+	jt.sim.Cancel(tt.expireEv)
+	tt.suspendEv, tt.expireEv = nil, nil
+	tt.expired = false
+	tt.suspected = false
+	for _, in := range tt.running {
+		in.inactive = false
+		jt.resumeCompute(in)
+		if in.shuffle != nil && in.phase == phaseShuffle {
+			in.shuffle.pump()
+		}
+	}
+}
+
+// availableSlots counts execution slots on live trackers (map + reduce),
+// the paper's base for both the speculative cap and the homestretch
+// threshold.
+func (jt *JobTracker) availableSlots() int {
+	n := 0
+	for _, tt := range jt.trackers {
+		if tt.node.Available() && !tt.expired {
+			n += tt.mapSlots + tt.reduceSlots
+		}
+	}
+	return n
+}
+
+// speculativeActive counts running, *active* speculative attempts of the
+// job. Inactive copies (stranded on suspended trackers) do not consume the
+// speculative budget — otherwise frozen speculative copies would wedge the
+// cap and block exactly the backups that frozen-task handling exists to
+// issue.
+func (jt *JobTracker) speculativeActive() int {
+	if jt.job == nil {
+		return 0
+	}
+	n := 0
+	for _, t := range append(append([]*Task(nil), jt.job.maps...), jt.job.reduces...) {
+		for _, in := range t.instances {
+			if in.running() && in.speculative && !in.inactive {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// --- assignment --------------------------------------------------------------
+
+// tick is the heartbeat: fill free slots with pending work, then with
+// speculative copies per policy, then check job completion progress.
+func (jt *JobTracker) tick() {
+	j := jt.job
+	if j == nil || j.Done() || j.state == JobCommitting {
+		return
+	}
+	// Pass 1: pending (never-running) tasks, volatile and dedicated
+	// trackers alike, in node order.
+	for _, tt := range jt.trackers {
+		for tt.freeSlots(MapTask) > 0 {
+			t := jt.pickPendingMap(tt)
+			if t == nil {
+				break
+			}
+			jt.launch(t, tt, false)
+		}
+		for tt.freeSlots(ReduceTask) > 0 {
+			t := jt.pickPendingReduce()
+			if t == nil {
+				break
+			}
+			jt.launch(t, tt, false)
+		}
+	}
+	// Pass 2: speculative copies. Under MOON-Hybrid dedicated slots are
+	// offered first so backup copies land on reliable machines.
+	order := jt.trackers
+	if jt.cfg.Policy == PolicyMOON && jt.cfg.Hybrid {
+		order = append(append([]*TaskTracker(nil), jt.dedicatedTrackers()...), jt.volatileTrackers()...)
+	}
+	for _, tt := range order {
+		for tt.freeSlots(MapTask) > 0 {
+			t := jt.pickSpeculative(MapTask, tt)
+			if t == nil {
+				break
+			}
+			jt.launch(t, tt, true)
+		}
+		for tt.freeSlots(ReduceTask) > 0 {
+			t := jt.pickSpeculative(ReduceTask, tt)
+			if t == nil {
+				break
+			}
+			jt.launch(t, tt, true)
+		}
+	}
+}
+
+func (jt *JobTracker) dedicatedTrackers() []*TaskTracker {
+	var out []*TaskTracker
+	for _, tt := range jt.trackers {
+		if tt.node.IsDedicated() {
+			out = append(out, tt)
+		}
+	}
+	return out
+}
+
+func (jt *JobTracker) volatileTrackers() []*TaskTracker {
+	var out []*TaskTracker
+	for _, tt := range jt.trackers {
+		if !tt.node.IsDedicated() {
+			out = append(out, tt)
+		}
+	}
+	return out
+}
+
+// pickPendingMap returns the next never-running (or fully killed) map,
+// preferring input-local tasks for the requesting tracker.
+func (jt *JobTracker) pickPendingMap(tt *TaskTracker) *Task {
+	var firstAny *Task
+	for _, t := range jt.job.maps {
+		if t.completed || t.runningInstances() > 0 {
+			continue
+		}
+		if jt.isInputLocal(t, tt.node) {
+			return t
+		}
+		if firstAny == nil {
+			firstAny = t
+		}
+	}
+	return firstAny
+}
+
+func (jt *JobTracker) isInputLocal(t *Task, n *cluster.Node) bool {
+	return jt.fs.HasReplicaOn(dfs.BlockID{File: t.job.cfg.InputFile, Index: t.Index}, n.ID)
+}
+
+// pickPendingReduce returns the next never-running reduce once the
+// slowstart threshold of completed maps is met.
+func (jt *JobTracker) pickPendingReduce() *Task {
+	j := jt.job
+	need := int(math.Ceil(jt.cfg.ReduceSlowstart * float64(j.cfg.NumMaps)))
+	if j.mapsCompleted < need {
+		return nil
+	}
+	for _, t := range j.reduces {
+		if !t.completed && t.runningInstances() == 0 {
+			return t
+		}
+	}
+	return nil
+}
+
+// pickSpeculative selects a task for a backup copy under the active policy.
+func (jt *JobTracker) pickSpeculative(typ TaskType, tt *TaskTracker) *Task {
+	if jt.cfg.Policy == PolicyHadoop {
+		return jt.pickSpeculativeHadoop(typ, tt)
+	}
+	return jt.pickSpeculativeMOON(typ, tt)
+}
+
+// tasksOf returns the job's task list of the given type.
+func (jt *JobTracker) tasksOf(typ TaskType) []*Task {
+	if typ == MapTask {
+		return jt.job.maps
+	}
+	return jt.job.reduces
+}
+
+// avgProgress is the mean progress over all tasks of a type (completed
+// tasks count as 1) — Hadoop's straggler baseline.
+func (jt *JobTracker) avgProgress(typ TaskType) float64 {
+	tasks := jt.tasksOf(typ)
+	if len(tasks) == 0 {
+		return 0
+	}
+	now := jt.sim.Now()
+	sum := 0.0
+	for _, t := range tasks {
+		sum += t.progress(now)
+	}
+	return sum / float64(len(tasks))
+}
+
+// isStraggler applies Hadoop's two conditions: the task has been running
+// for over a minute and lags the average progress by 0.2 or more.
+func (jt *JobTracker) isStraggler(t *Task, avg float64) bool {
+	if t.completed || t.runningInstances() == 0 {
+		return false
+	}
+	now := jt.sim.Now()
+	oldest := math.MaxFloat64
+	for _, in := range t.instances {
+		if in.running() && in.startedAt < oldest {
+			oldest = in.startedAt
+		}
+	}
+	if now-oldest < jt.cfg.StragglerMinRuntime {
+		return false
+	}
+	return t.progress(now) < avg-jt.cfg.StragglerGap
+}
+
+// pickSpeculativeHadoop: stragglers in original scheduling order, one
+// backup copy per task, maps preferring local input.
+func (jt *JobTracker) pickSpeculativeHadoop(typ TaskType, tt *TaskTracker) *Task {
+	// Hadoop only speculates once every task of the type has been
+	// scheduled.
+	for _, t := range jt.tasksOf(typ) {
+		if !t.completed && t.attempts == 0 {
+			return nil
+		}
+	}
+	avg := jt.avgProgress(typ)
+	var candidates []*Task
+	for _, t := range jt.tasksOf(typ) {
+		if jt.isStraggler(t, avg) && t.runningInstances() < 1+jt.cfg.SpeculativeCap {
+			candidates = append(candidates, t)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	sort.SliceStable(candidates, func(a, b int) bool {
+		return candidates[a].scheduledOrder < candidates[b].scheduledOrder
+	})
+	if typ == MapTask {
+		for _, t := range candidates {
+			if jt.isInputLocal(t, tt.node) {
+				return t
+			}
+		}
+	}
+	return candidates[0]
+}
+
+// pickSpeculativeMOON: frozen tasks first (any number of copies), then slow
+// tasks (respecting the per-task cap), then homestretch replication — all
+// subject to the global cap of SpecSlotFraction × available slots. Under
+// Hybrid, tasks that already have an active dedicated copy sort last and
+// skip the homestretch.
+func (jt *JobTracker) pickSpeculativeMOON(typ TaskType, tt *TaskTracker) *Task {
+	if float64(jt.speculativeActive()) >= jt.cfg.SpecSlotFraction*float64(jt.availableSlots()) {
+		return nil
+	}
+	now := jt.sim.Now()
+	runningOnTT := func(t *Task) bool {
+		for _, in := range t.instances {
+			if in.running() && in.tracker == tt {
+				return true
+			}
+		}
+		return false
+	}
+	rank := func(t *Task) (int, float64) {
+		ded := 0
+		if jt.cfg.Hybrid && t.hasActiveDedicatedCopy() {
+			ded = 1
+		}
+		return ded, t.progress(now)
+	}
+	pickBest := func(cands []*Task) *Task {
+		var best *Task
+		var bestDed int
+		var bestProg float64
+		for _, t := range cands {
+			d, p := rank(t)
+			if best == nil || d < bestDed || (d == bestDed && p < bestProg) {
+				best, bestDed, bestProg = t, d, p
+			}
+		}
+		return best
+	}
+
+	// 1) Frozen tasks: every copy inactive; replicate regardless of copy
+	// count so progress can always be made.
+	var frozen []*Task
+	for _, t := range jt.tasksOf(typ) {
+		if t.frozen() && !runningOnTT(t) {
+			frozen = append(frozen, t)
+		}
+	}
+	if t := pickBest(frozen); t != nil {
+		return t
+	}
+
+	// 2) Slow tasks: Hadoop's criteria with the per-task cap.
+	avg := jt.avgProgress(typ)
+	var slow []*Task
+	for _, t := range jt.tasksOf(typ) {
+		if jt.isStraggler(t, avg) && !t.frozen() &&
+			t.runningInstances() < 1+jt.cfg.SpeculativeCap && !runningOnTT(t) {
+			slow = append(slow, t)
+		}
+	}
+	if t := pickBest(slow); t != nil {
+		return t
+	}
+
+	// 3) Homestretch: near job completion, keep >= R active copies of
+	// every remaining task.
+	if float64(jt.job.remainingTasks()) < jt.cfg.HomestretchH/100*float64(jt.availableSlots()) {
+		var hs []*Task
+		for _, t := range jt.tasksOf(typ) {
+			if t.completed || t.runningInstances() == 0 || runningOnTT(t) {
+				continue
+			}
+			if jt.cfg.Hybrid && t.hasActiveDedicatedCopy() {
+				continue
+			}
+			if t.activeInstances() < jt.cfg.HomestretchR {
+				hs = append(hs, t)
+			}
+		}
+		if t := pickBest(hs); t != nil {
+			return t
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package mapred
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TaskTracker is the per-node worker agent: it owns the node's execution
+// slots. Suspension/expiry detection lives in the JobTracker (it observes
+// missing heartbeats); the tracker only tracks occupancy.
+type TaskTracker struct {
+	node *cluster.Node
+
+	mapSlots    int
+	reduceSlots int
+
+	running []*Instance
+
+	// JobTracker-side detection events, armed when heartbeats stop.
+	suspendEv *sim.Event
+	expireEv  *sim.Event
+
+	// suspected marks a tracker whose instances were flagged inactive
+	// (MOON suspension detection).
+	suspected bool
+	// expired marks a tracker declared dead; it rejoins on next
+	// heartbeat after the node returns.
+	expired bool
+}
+
+// usedSlots counts running instances of the given type.
+func (tt *TaskTracker) usedSlots(typ TaskType) int {
+	n := 0
+	for _, in := range tt.running {
+		if in.task.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+// freeSlots returns open slots of the given type; an unavailable or expired
+// tracker offers none.
+func (tt *TaskTracker) freeSlots(typ TaskType) int {
+	if !tt.node.Available() || tt.expired {
+		return 0
+	}
+	if typ == MapTask {
+		return tt.mapSlots - tt.usedSlots(MapTask)
+	}
+	return tt.reduceSlots - tt.usedSlots(ReduceTask)
+}
+
+func (tt *TaskTracker) remove(in *Instance) {
+	for i, x := range tt.running {
+		if x == in {
+			tt.running = append(tt.running[:i], tt.running[i+1:]...)
+			return
+		}
+	}
+}

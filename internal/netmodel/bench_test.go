@@ -1,0 +1,28 @@
+package netmodel
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// BenchmarkTransferChurn measures flow setup/teardown with fair-share
+// recomputation on a 66-node fleet — the shuffle's hot path.
+func BenchmarkTransferChurn(b *testing.B) {
+	s := sim.New()
+	traces := make([]trace.Trace, 60)
+	for i := range traces {
+		traces[i] = trace.Trace{Duration: 1e12}
+	}
+	c := cluster.New(s, cluster.Config{VolatileTraces: traces, DedicatedNodes: 6})
+	n := New(s, c, DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := c.Node(i % 60)
+		dst := c.Node((i + 7) % 60)
+		n.Transfer(src, dst, 530e3, func(error) {}) // one shuffle segment
+		s.RunUntil(s.Now() + 0.05)
+	}
+}

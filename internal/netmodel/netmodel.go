@@ -1,0 +1,310 @@
+// Package netmodel simulates the cluster interconnect and node disks as
+// shared-capacity resources.
+//
+// Every data movement (block replication, shuffle fetch, DFS read/write) is
+// a Flow between two nodes. A remote flow's rate is the min of its fair
+// shares at both NICs (rate = min(C/src_flows, C/dst_flows)); flows between
+// a node and itself model local disk copies and share the node's disk
+// bandwidth. Rates are recomputed whenever a flow starts or finishes at an
+// endpoint or an endpoint changes availability, so transfer times respond
+// to contention — this is what saturates MOON's small dedicated set at low
+// volatile-to-dedicated ratios (the paper's one regression case) and what
+// the Algorithm 1 throttler measures.
+//
+// A flow with an unavailable endpoint makes no progress; if the outage lasts
+// longer than the configured stall timeout the flow fails with ErrStalled,
+// modeling the client-side timeouts the paper describes for I/O against
+// "dead" DataNodes.
+package netmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Errors reported to Flow completion callbacks.
+var (
+	// ErrStalled means an endpoint stayed unavailable past the stall
+	// timeout.
+	ErrStalled = errors.New("netmodel: transfer stalled by node outage")
+	// ErrCanceled means the initiator canceled the flow.
+	ErrCanceled = errors.New("netmodel: transfer canceled")
+)
+
+// Config sets the physical resource capacities.
+type Config struct {
+	// NodeBandwidth is each node's NIC capacity in bytes/second
+	// (shared by all remote flows touching the node, both directions —
+	// a deliberate simplification of 1 GbE full duplex).
+	NodeBandwidth float64
+	// DiskBandwidth is each node's local disk copy bandwidth in
+	// bytes/second, shared by local flows.
+	DiskBandwidth float64
+	// StallTimeout is how long a flow survives an endpoint outage before
+	// failing with ErrStalled.
+	StallTimeout float64
+}
+
+// DefaultConfig models the paper's testbed fabric: 1 Gb/s Ethernet
+// (~117 MB/s payload), commodity disks, and Hadoop-era client timeouts.
+func DefaultConfig() Config {
+	return Config{
+		NodeBandwidth: 117e6,
+		DiskBandwidth: 60e6,
+		StallTimeout:  30,
+	}
+}
+
+// Flow is one in-flight transfer.
+type Flow struct {
+	Src, Dst *cluster.Node
+	id       uint64
+
+	remaining  float64
+	rate       float64
+	lastUpdate float64
+
+	done       func(error)
+	completion *sim.Event
+	stall      *sim.Event
+	finished   bool
+}
+
+// Remaining returns the bytes not yet transferred (settled to the last rate
+// change, not the current instant).
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// nodeState tracks the flows touching one node.
+type nodeState struct {
+	remote []*Flow
+	local  []*Flow
+	// consumed accumulates bytes moved through this node (both
+	// directions), for bandwidth measurement.
+	consumed float64
+}
+
+// Network simulates all transfers for a cluster.
+type Network struct {
+	sim    *sim.Simulation
+	cfg    Config
+	nodes  []*nodeState
+	nextID uint64
+
+	// TotalBytes counts every byte delivered by completed or partial
+	// flows, fleet-wide.
+	totalBytes float64
+}
+
+// New attaches a network to the cluster and subscribes to availability
+// transitions of every node.
+func New(s *sim.Simulation, c *cluster.Cluster, cfg Config) *Network {
+	n := &Network{sim: s, cfg: cfg, nodes: make([]*nodeState, len(c.Nodes))}
+	for i := range n.nodes {
+		n.nodes[i] = &nodeState{}
+	}
+	for _, node := range c.Nodes {
+		node.Watch(func(nd *cluster.Node, _ bool) { n.nodeChanged(nd) })
+	}
+	return n
+}
+
+// Consumed returns total bytes moved through the node so far (settled).
+func (n *Network) Consumed(nodeID int) float64 {
+	if nodeID < 0 || nodeID >= len(n.nodes) {
+		return 0
+	}
+	return n.nodes[nodeID].consumed
+}
+
+// TotalBytes returns the fleet-wide settled byte count.
+func (n *Network) TotalBytes() float64 { return n.totalBytes }
+
+// ActiveFlows returns the number of remote flows currently touching the
+// node.
+func (n *Network) ActiveFlows(nodeID int) int {
+	if nodeID < 0 || nodeID >= len(n.nodes) {
+		return 0
+	}
+	return len(n.nodes[nodeID].remote)
+}
+
+// Transfer starts moving bytes from src to dst and invokes done exactly once
+// with nil on completion or an error on failure. src == dst models a local
+// disk copy. Zero-byte transfers complete at the current instant.
+func (n *Network) Transfer(src, dst *cluster.Node, bytes float64, done func(error)) *Flow {
+	if src == nil || dst == nil {
+		panic("netmodel: Transfer with nil endpoint")
+	}
+	if bytes < 0 {
+		panic(fmt.Sprintf("netmodel: negative transfer size %v", bytes))
+	}
+	f := &Flow{Src: src, Dst: dst, id: n.nextID, remaining: bytes, done: done, lastUpdate: n.sim.Now()}
+	n.nextID++
+	if bytes == 0 {
+		f.finished = true
+		n.sim.After(0, "net.done0", func() { done(nil) })
+		return f
+	}
+	if f.local() {
+		n.nodes[src.ID].local = append(n.nodes[src.ID].local, f)
+		n.updateNode(src.ID)
+	} else {
+		n.nodes[src.ID].remote = append(n.nodes[src.ID].remote, f)
+		n.nodes[dst.ID].remote = append(n.nodes[dst.ID].remote, f)
+		n.updateNode(src.ID)
+		n.updateNode(dst.ID)
+	}
+	n.checkStall(f)
+	return f
+}
+
+// Cancel aborts the flow; done receives ErrCanceled at the current instant.
+// Canceling a finished flow is a no-op.
+func (n *Network) Cancel(f *Flow) {
+	if f == nil || f.finished {
+		return
+	}
+	n.finish(f, ErrCanceled)
+}
+
+func (f *Flow) local() bool { return f.Src.ID == f.Dst.ID }
+
+// settle charges progress made at the current rate since the last update.
+func (n *Network) settle(f *Flow) {
+	now := n.sim.Now()
+	if f.rate > 0 {
+		delta := f.rate * (now - f.lastUpdate)
+		if delta > f.remaining {
+			delta = f.remaining
+		}
+		f.remaining -= delta
+		n.totalBytes += delta
+		n.nodes[f.Src.ID].consumed += delta
+		if !f.local() {
+			n.nodes[f.Dst.ID].consumed += delta
+		}
+	}
+	f.lastUpdate = now
+}
+
+// currentRate computes the flow's fair-share rate from endpoint load and
+// availability.
+func (n *Network) currentRate(f *Flow) float64 {
+	if !f.Src.Available() || !f.Dst.Available() {
+		return 0
+	}
+	if f.local() {
+		cnt := len(n.nodes[f.Src.ID].local)
+		if cnt == 0 {
+			return 0
+		}
+		return n.cfg.DiskBandwidth / float64(cnt)
+	}
+	sc := len(n.nodes[f.Src.ID].remote)
+	dc := len(n.nodes[f.Dst.ID].remote)
+	if sc == 0 || dc == 0 {
+		return 0
+	}
+	srcShare := n.cfg.NodeBandwidth / float64(sc)
+	dstShare := n.cfg.NodeBandwidth / float64(dc)
+	if srcShare < dstShare {
+		return srcShare
+	}
+	return dstShare
+}
+
+// updateNode resettles and reschedules every flow touching the node.
+func (n *Network) updateNode(nodeID int) {
+	st := n.nodes[nodeID]
+	for _, f := range append(append([]*Flow(nil), st.remote...), st.local...) {
+		n.refresh(f)
+	}
+}
+
+// refresh recomputes one flow's rate and completion time.
+func (n *Network) refresh(f *Flow) {
+	if f.finished {
+		return
+	}
+	n.settle(f)
+	f.rate = n.currentRate(f)
+	n.sim.Cancel(f.completion)
+	f.completion = nil
+	if f.remaining <= 1e-6 {
+		n.finish(f, nil)
+		return
+	}
+	if f.rate > 0 {
+		f.completion = n.sim.After(f.remaining/f.rate, "net.complete", func() {
+			n.settle(f)
+			n.finish(f, nil)
+		})
+	}
+}
+
+// checkStall arms or disarms the stall-failure timer according to endpoint
+// availability.
+func (n *Network) checkStall(f *Flow) {
+	if f.finished {
+		return
+	}
+	down := !f.Src.Available() || !f.Dst.Available()
+	if down && f.stall == nil {
+		f.stall = n.sim.After(n.cfg.StallTimeout, "net.stall", func() {
+			f.stall = nil
+			n.finish(f, ErrStalled)
+		})
+	} else if !down && f.stall != nil {
+		n.sim.Cancel(f.stall)
+		f.stall = nil
+	}
+}
+
+// finish removes the flow and fires its callback.
+func (n *Network) finish(f *Flow, err error) {
+	if f.finished {
+		return
+	}
+	n.settle(f)
+	f.finished = true
+	n.sim.Cancel(f.completion)
+	n.sim.Cancel(f.stall)
+	f.completion, f.stall = nil, nil
+	if f.local() {
+		removeFlow(&n.nodes[f.Src.ID].local, f)
+		n.updateNode(f.Src.ID)
+	} else {
+		removeFlow(&n.nodes[f.Src.ID].remote, f)
+		removeFlow(&n.nodes[f.Dst.ID].remote, f)
+		n.updateNode(f.Src.ID)
+		n.updateNode(f.Dst.ID)
+	}
+	if f.done != nil {
+		f.done(err)
+	}
+}
+
+// nodeChanged reacts to an availability transition: rates collapse to zero
+// or recover, and stall timers arm/disarm.
+func (n *Network) nodeChanged(node *cluster.Node) {
+	st := n.nodes[node.ID]
+	flows := append(append([]*Flow(nil), st.remote...), st.local...)
+	for _, f := range flows {
+		n.refresh(f)
+	}
+	for _, f := range flows {
+		n.checkStall(f)
+	}
+}
+
+func removeFlow(s *[]*Flow, f *Flow) {
+	for i, x := range *s {
+		if x == f {
+			*s = append((*s)[:i], (*s)[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw schedule+fire cost — the
+// simulator's fundamental currency.
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(float64(i), "e", fn)
+		s.Step()
+	}
+}
+
+// BenchmarkTickerChain measures self-rescheduling tickers, the pattern all
+// periodic services (scans, heartbeats, samplers) use.
+func BenchmarkTickerChain(b *testing.B) {
+	s := New()
+	n := 0
+	stop := s.Ticker(1, "t", func() { n++ })
+	defer stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	_ = n
+}
+
+// BenchmarkCancelHeavy measures schedule/cancel churn (flow reschedules
+// cancel and re-create completion events constantly).
+func BenchmarkCancelHeavy(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := s.Schedule(float64(i)+1e6, "e", fn)
+		s.Cancel(e)
+	}
+}

@@ -1,0 +1,213 @@
+// Package sim implements the discrete-event simulation core used by the
+// MOON reproduction.
+//
+// A Simulation owns a virtual clock and a priority queue of events. Events
+// scheduled for the same instant fire in schedule order, which together with
+// the deterministic rng package makes every run bit-reproducible for a given
+// seed. All model time is in simulated seconds (float64).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in seconds since the simulation epoch.
+type Time = float64
+
+// Forever is a time later than any event the simulator will reach.
+const Forever Time = math.MaxFloat64
+
+// Event is a scheduled callback. The zero value is invalid; events are
+// created through Simulation.Schedule and friends.
+type Event struct {
+	At       Time
+	fn       func()
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	canceled bool
+	name     string
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e == nil || e.canceled }
+
+// Pending reports whether the event is still queued to fire.
+func (e *Event) Pending() bool { return e != nil && !e.canceled && e.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulation is a discrete-event scheduler. It is not safe for concurrent
+// use; the whole model runs single-threaded over virtual time.
+type Simulation struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	// Fired counts events executed, for diagnostics and livelock guards.
+	fired   uint64
+	stopped bool
+}
+
+// New returns an empty simulation at time 0.
+func New() *Simulation {
+	return &Simulation{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulation) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently queued.
+func (s *Simulation) Pending() int { return len(s.queue) }
+
+// Schedule queues fn to run at absolute time at. Scheduling in the past
+// panics: it always indicates a model bug.
+func (s *Simulation) Schedule(at Time, name string, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, at, s.now))
+	}
+	e := &Event{At: at, fn: fn, seq: s.nextSeq, name: name}
+	s.nextSeq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After queues fn to run delay seconds from now. A non-positive delay runs
+// at the current instant, after events already queued for this instant.
+func (s *Simulation) After(delay Time, name string, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.Schedule(s.now+delay, name, fn)
+}
+
+// Cancel prevents a pending event from firing. Canceling a nil, fired, or
+// already-canceled event is a no-op.
+func (s *Simulation) Cancel(e *Event) {
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Reschedule moves a pending event to a new time, preserving its callback.
+// If the event already fired or was canceled, a fresh event is scheduled.
+func (s *Simulation) Reschedule(e *Event, at Time) *Event {
+	if e == nil {
+		return nil
+	}
+	fn, name := e.fn, e.name
+	s.Cancel(e)
+	return s.Schedule(at, name, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Simulation) Stop() { s.stopped = true }
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if the queue is empty.
+func (s *Simulation) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.At < s.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v (%s)", s.now, e.At, e.name))
+		}
+		s.now = e.At
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the queue is empty, Stop is called, or the
+// next event would fire after deadline. The clock is left at the time of the
+// last executed event (or advanced to deadline if it is reached with events
+// still pending).
+func (s *Simulation) RunUntil(deadline Time) {
+	s.stopped = false
+	for !s.stopped {
+		// Peek without firing so the deadline is honored exactly.
+		var next *Event
+		for len(s.queue) > 0 {
+			if s.queue[0].canceled {
+				heap.Pop(&s.queue)
+				continue
+			}
+			next = s.queue[0]
+			break
+		}
+		if next == nil {
+			return
+		}
+		if next.At > deadline {
+			s.now = deadline
+			return
+		}
+		s.Step()
+	}
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Simulation) Run() { s.RunUntil(Forever) }
+
+// Ticker repeatedly invokes fn every interval seconds until canceled via the
+// returned stop function. The first tick fires one interval from now.
+func (s *Simulation) Ticker(interval Time, name string, fn func()) (stop func()) {
+	if interval <= 0 {
+		panic("sim: Ticker interval must be positive")
+	}
+	var ev *Event
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			ev = s.After(interval, name, tick)
+		}
+	}
+	ev = s.After(interval, name, tick)
+	return func() {
+		stopped = true
+		s.Cancel(ev)
+	}
+}
