@@ -17,12 +17,14 @@ import (
 	"repro/internal/trace"
 )
 
-// benchConfig bounds an experiment for benchmarking.
+// benchConfig bounds an experiment for benchmarking. Parallelism 0 lets the
+// harness worker pool use every core; results are identical to a serial run.
 func benchConfig(scale int, rates ...float64) harness.Config {
 	cfg := harness.DefaultConfig()
 	cfg.Seeds = []uint64{1}
 	cfg.Scale = scale
 	cfg.Rates = rates
+	cfg.Parallelism = 0
 	return cfg
 }
 
@@ -65,6 +67,36 @@ func benchFig4(b *testing.B, app string) {
 		ratio = sw.Get("Hadoop1Min", 0.5).Makespan / sw.Get("MOON-Hybrid", 0.5).Makespan
 	}
 	b.ReportMetric(ratio, "hadoop1min/moonHybrid")
+}
+
+// BenchmarkFig4MultiSeedSweep runs the MOON-Hybrid Fig4 cell across eight
+// churn seeds at quarter scale — the embarrassingly parallel sweep shape the
+// harness worker pool targets. Compare against the Serial twin below for the
+// parallel speedup on a multi-core box.
+func BenchmarkFig4MultiSeedSweep(b *testing.B) {
+	benchMultiSeed(b, 0)
+}
+
+// BenchmarkFig4MultiSeedSweepSerial is the single-worker baseline of the
+// same sweep.
+func BenchmarkFig4MultiSeedSweepSerial(b *testing.B) {
+	benchMultiSeed(b, 1)
+}
+
+func benchMultiSeed(b *testing.B, parallelism int) {
+	cfg := benchConfig(4, 0.5)
+	cfg.Seeds = []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	cfg.Parallelism = parallelism
+	variants := harness.SchedulingVariants("sort")[4:5] // MOON-Hybrid
+	var makespan float64
+	for i := 0; i < b.N; i++ {
+		sw, err := cfg.RunSweep("multi-seed", variants)
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespan = sw.Get("MOON-Hybrid", 0.5).Makespan
+	}
+	b.ReportMetric(makespan, "meanMakespan")
 }
 
 // BenchmarkFig5DuplicatedTasks reports the duplicated-task reduction of the

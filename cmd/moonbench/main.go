@@ -27,12 +27,14 @@ func main() {
 		scale      = flag.Int("scale", 1, "divide workload size by this factor (1 = paper scale)")
 		rates      = flag.String("rates", "0.1,0.3,0.5", "comma-separated unavailability rates")
 		ablation   = flag.String("ablation", "homestretch", "homestretch|speccap|hibernate|adaptive")
+		parallel   = flag.Int("parallel", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
 		verbose    = flag.Bool("v", false, "print one line per run")
 	)
 	flag.Parse()
 
 	cfg := harness.DefaultConfig()
 	cfg.Scale = *scale
+	cfg.Parallelism = *parallel
 	var err error
 	if cfg.Seeds, err = parseSeeds(*seeds); err != nil {
 		fatal(err)

@@ -3,7 +3,6 @@ package dfs
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/netmodel"
@@ -59,6 +58,10 @@ type FileSystem struct {
 
 	cursorV, cursorD int
 
+	// scanTargets is the reusable target buffer for replication-scan
+	// placement (scanBlock consumes each choice before the next call).
+	scanTargets []int
+
 	Metrics Metrics
 }
 
@@ -95,8 +98,8 @@ func New(s *sim.Simulation, cl *cluster.Cluster, net *netmodel.Network, cfg Conf
 type dnView struct {
 	node        *cluster.Node
 	state       DNState
-	hibernateEv *sim.Event
-	expiryEv    *sim.Event
+	hibernateEv sim.Event
+	expiryEv    sim.Event
 
 	// Throttling state (dedicated nodes only).
 	bwWindow     []float64
@@ -137,7 +140,7 @@ func (fs *FileSystem) nodeChanged(n *cluster.Node, available bool) {
 	}
 	fs.sim.Cancel(v.hibernateEv)
 	fs.sim.Cancel(v.expiryEv)
-	v.hibernateEv, v.expiryEv = nil, nil
+	v.hibernateEv, v.expiryEv = sim.Event{}, sim.Event{}
 	wasDead := v.state == DNDead
 	v.state = DNLive
 	if wasDead {
@@ -222,7 +225,12 @@ func (fs *FileSystem) HasLiveReplica(id BlockID) bool {
 	if b == nil {
 		return false
 	}
-	return len(fs.liveReplicas(b)) > 0
+	for _, rid := range b.replicas {
+		if fs.dn[rid].state == DNLive {
+			return true
+		}
+	}
+	return false
 }
 
 // FileFullyReplicated reports whether every block of the file meets its
@@ -302,15 +310,15 @@ func (fs *FileSystem) CreateStaged(name string, size float64, class FileClass, f
 	for _, b := range f.Blocks {
 		needD, needV := fs.required(f, b)
 		if fs.cfg.Mode == ModeHadoop {
-			for _, t := range fs.chooseAny(needD+needV, nil) {
+			for _, t := range fs.chooseAny(nil, needD+needV, nil) {
 				fs.registerReplica(b, t)
 			}
 			continue
 		}
-		for _, t := range fs.chooseDedicated(needD, nil) {
+		for _, t := range fs.chooseDedicated(nil, needD, nil) {
 			fs.registerReplica(b, t)
 		}
-		for _, t := range fs.chooseVolatile(needV, nil) {
+		for _, t := range fs.chooseVolatile(nil, needV, nil) {
 			fs.registerReplica(b, t)
 		}
 	}
@@ -498,7 +506,8 @@ func (fs *FileSystem) scanBlock(f *File, b *Block) {
 		total, needTotal := d+v, needD+needV
 		switch {
 		case total+pend < needTotal:
-			fs.issueReplication(b, fs.chooseAny(1, b.replicas))
+			fs.scanTargets = fs.chooseAny(fs.scanTargets[:0], 1, b.replicas)
+			fs.issueReplication(b, fs.scanTargets)
 		case total > needTotal && pend == 0:
 			fs.trimExcess(b, total-needTotal, false)
 		}
@@ -510,11 +519,13 @@ func (fs *FileSystem) scanBlock(f *File, b *Block) {
 	// skipped while the dedicated tier is throttled).
 	if d+pend < needD {
 		if f.Class == Reliable || !fs.allDedicatedThrottled() {
-			fs.issueReplication(b, fs.chooseDedicated(1, b.replicas))
+			fs.scanTargets = fs.chooseDedicated(fs.scanTargets[:0], 1, b.replicas)
+			fs.issueReplication(b, fs.scanTargets)
 		}
 	}
 	if v+pend < needV {
-		fs.issueReplication(b, fs.chooseVolatile(1, b.replicas))
+		fs.scanTargets = fs.chooseVolatile(fs.scanTargets[:0], 1, b.replicas)
+		fs.issueReplication(b, fs.scanTargets)
 	}
 	if v > needV && pend == 0 {
 		fs.trimExcess(b, v-needV, true)
@@ -627,13 +638,6 @@ func removeInt(s *[]int, x int) {
 			return
 		}
 	}
-}
-
-// sortedIDs returns a deterministic copy of ids sorted ascending.
-func sortedIDs(ids []int) []int {
-	out := append([]int(nil), ids...)
-	sort.Ints(out)
-	return out
 }
 
 // SetThrottledForTest pins a dedicated node's throttle state; test hook.

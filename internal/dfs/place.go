@@ -5,46 +5,55 @@ package dfs
 // NameNode believes live (its view can lag reality, in which case the
 // transfer stalls exactly as the paper describes for I/O sent to nodes not
 // yet identified as dead).
+//
+// The choose functions append into a caller-supplied buffer (which may be
+// nil) instead of allocating: the write pipeline and the replication scan
+// run on every event tick, so placement must not churn the heap. Nodes
+// already present in dst are never chosen again, which lets callers build a
+// relay plan incrementally in one buffer.
 
-// chooseVolatile picks up to k distinct volatile DataNodes believed live,
-// excluding the given holders, rotating a cursor for spread.
-func (fs *FileSystem) chooseVolatile(k int, exclude []int) []int {
-	return fs.choose(k, exclude, func(v *dnView) bool {
+// chooseVolatile appends up to k distinct volatile DataNodes believed live,
+// excluding the given holders and anything already in dst, rotating a
+// cursor for spread.
+func (fs *FileSystem) chooseVolatile(dst []int, k int, exclude []int) []int {
+	return fs.choose(dst, k, exclude, func(v *dnView) bool {
 		return !v.node.IsDedicated()
 	}, &fs.cursorV)
 }
 
-// chooseDedicated picks up to k distinct dedicated DataNodes believed live.
-func (fs *FileSystem) chooseDedicated(k int, exclude []int) []int {
-	return fs.choose(k, exclude, func(v *dnView) bool {
+// chooseDedicated appends up to k distinct dedicated DataNodes believed
+// live.
+func (fs *FileSystem) chooseDedicated(dst []int, k int, exclude []int) []int {
+	return fs.choose(dst, k, exclude, func(v *dnView) bool {
 		return v.node.IsDedicated()
 	}, &fs.cursorD)
 }
 
-// chooseAny picks nodes of any type (stock-Hadoop placement).
-func (fs *FileSystem) chooseAny(k int, exclude []int) []int {
-	return fs.choose(k, exclude, func(*dnView) bool { return true }, &fs.cursorV)
+// chooseAny appends nodes of any type (stock-Hadoop placement).
+func (fs *FileSystem) chooseAny(dst []int, k int, exclude []int) []int {
+	return fs.choose(dst, k, exclude, func(*dnView) bool { return true }, &fs.cursorV)
 }
 
-func (fs *FileSystem) choose(k int, exclude []int, eligible func(*dnView) bool, cursor *int) []int {
+func (fs *FileSystem) choose(dst []int, k int, exclude []int, eligible func(*dnView) bool, cursor *int) []int {
 	if k <= 0 {
-		return nil
+		return dst
 	}
 	n := len(fs.dn)
-	var out []int
-	for probe := 0; probe < n && len(out) < k; probe++ {
+	chosen := 0
+	for probe := 0; probe < n && chosen < k; probe++ {
 		id := (*cursor + probe) % n
 		v := fs.dn[id]
 		if v.state != DNLive || !eligible(v) {
 			continue
 		}
-		if containsInt(exclude, id) || containsInt(out, id) {
+		if containsInt(exclude, id) || containsInt(dst, id) {
 			continue
 		}
-		out = append(out, id)
+		dst = append(dst, id)
+		chosen++
 	}
 	*cursor = (*cursor + 1) % n
-	return out
+	return dst
 }
 
 // allDedicatedThrottled reports whether every live dedicated DataNode is
@@ -61,13 +70,15 @@ func (fs *FileSystem) allDedicatedThrottled() bool {
 }
 
 // pickUnthrottledDedicated returns a live, unthrottled dedicated node for an
-// opportunistic write, or -1 when the whole tier is saturated.
-func (fs *FileSystem) pickUnthrottledDedicated(exclude []int) int {
+// opportunistic write, or -1 when the whole tier is saturated. Nodes in
+// either exclusion list are skipped.
+func (fs *FileSystem) pickUnthrottledDedicated(exclude, alsoExclude []int) int {
 	n := len(fs.dn)
 	for probe := 0; probe < n; probe++ {
 		id := (fs.cursorD + probe) % n
 		v := fs.dn[id]
-		if v.node.IsDedicated() && v.state == DNLive && !v.throttled && !containsInt(exclude, id) {
+		if v.node.IsDedicated() && v.state == DNLive && !v.throttled &&
+			!containsInt(exclude, id) && !containsInt(alsoExclude, id) {
 			fs.cursorD = (fs.cursorD + 1) % n
 			return id
 		}
@@ -119,6 +130,6 @@ func (fs *FileSystem) throttleStep(v *dnView, bw float64) {
 	}
 	v.bwWindow = append(v.bwWindow, bw)
 	if len(v.bwWindow) > 4*W { // bound memory
-		v.bwWindow = append([]float64(nil), v.bwWindow[len(v.bwWindow)-W:]...)
+		v.bwWindow = append(v.bwWindow[:0], v.bwWindow[len(v.bwWindow)-W:]...)
 	}
 }

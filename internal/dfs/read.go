@@ -41,18 +41,19 @@ func (fs *FileSystem) ReadBlock(from *cluster.Node, id BlockID, bytes float64, e
 	return flow, nil
 }
 
-// pickReadSource returns the chosen replica holder, or -1.
+// pickReadSource returns the chosen replica holder, or -1. It iterates the
+// block's replica list directly — this runs for every shuffle fetch and
+// input read, so it must not allocate a candidate slice per call.
 func (fs *FileSystem) pickReadSource(from *cluster.Node, b *Block, exclude []int) int {
-	candidates := fs.liveReplicas(b)
 	// Local fast path.
-	for _, id := range candidates {
-		if id == from.ID && !containsInt(exclude, id) {
+	for _, id := range b.replicas {
+		if id == from.ID && fs.dn[id].state == DNLive && !containsInt(exclude, id) {
 			return id
 		}
 	}
 	best, bestTier, bestLoad := -1, 1<<30, 1<<30
-	for _, id := range candidates {
-		if containsInt(exclude, id) {
+	for _, id := range b.replicas {
+		if fs.dn[id].state != DNLive || containsInt(exclude, id) {
 			continue
 		}
 		tier := 0

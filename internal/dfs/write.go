@@ -20,8 +20,13 @@ type WriteOp struct {
 	attempts int
 	failed   []int // nodes that failed a stage for the current block
 
+	// avoid and targets are reusable buffers for plan(): the relay plan is
+	// recomputed after every replica write, so it must not allocate.
+	avoid   []int
+	targets []int
+
 	curFlow *netmodel.Flow
-	backoff *sim.Event
+	backoff sim.Event
 	stopped bool
 }
 
@@ -60,7 +65,7 @@ func (op *WriteOp) finish(err error) {
 		op.fs.net.Cancel(f)
 	}
 	op.fs.sim.Cancel(op.backoff)
-	op.backoff = nil
+	op.backoff = sim.Event{}
 	if op.done != nil {
 		op.done(err)
 	}
@@ -80,17 +85,26 @@ func (op *WriteOp) startBlock() {
 }
 
 // plan returns the remaining targets for the current block, excluding
-// holders and failed nodes.
+// holders and failed nodes. The returned slice aliases op.targets and is
+// valid until the next plan() call; the relay order is local copy first,
+// then dedicated (anchor the copy early), then the remaining volatile
+// holders.
 func (op *WriteOp) plan() []int {
 	fs := op.fs
 	b := op.file.Blocks[op.blockIdx]
-	exclude := append(sortedIDs(b.replicas), op.failed...)
+	// Holders plus nodes that failed a stage of this block, copied into a
+	// reusable buffer so the append never aliases b.replicas.
+	op.avoid = append(op.avoid[:0], b.replicas...)
+	avoid := append(op.avoid, op.failed...)
+	op.avoid = avoid
 
 	// The writer's local copy always comes first (it is the task's own
-	// disk) unless the node already holds the block or failed.
-	var targets []int
+	// disk) unless the node already holds the block or failed. The choose
+	// helpers skip anything already in the plan, so targets doubles as its
+	// own exclusion list.
+	targets := op.targets[:0]
 	localD, localV := 0, 0
-	if !containsInt(exclude, op.from.ID) {
+	if !containsInt(avoid, op.from.ID) {
 		targets = append(targets, op.from.ID)
 		if op.from.IsDedicated() {
 			localD++
@@ -102,7 +116,8 @@ func (op *WriteOp) plan() []int {
 	if fs.cfg.Mode == ModeHadoop {
 		total := op.file.Factor.D + op.file.Factor.V
 		have := len(b.replicas) + len(targets)
-		targets = append(targets, fs.chooseAny(total-have, append(exclude, targets...))...)
+		targets = fs.chooseAny(targets, total-have, avoid)
+		op.targets = targets
 		return targets
 	}
 
@@ -117,12 +132,11 @@ func (op *WriteOp) plan() []int {
 	// Dedicated copies: reliable writes are always satisfied on dedicated
 	// nodes; opportunistic writes are declined while the tier is
 	// saturated, and the volatile degree adapts to compensate.
-	var dedTargets []int
 	if op.file.Class == Reliable {
-		dedTargets = fs.chooseDedicated(needD-d, append(exclude, targets...))
+		targets = fs.chooseDedicated(targets, needD-d, avoid)
 	} else {
 		for i := 0; i < needD-d; i++ {
-			id := fs.pickUnthrottledDedicated(append(exclude, append(targets, dedTargets...)...))
+			id := fs.pickUnthrottledDedicated(avoid, targets)
 			if id < 0 {
 				fs.Metrics.DedicatedDeclines++
 				if av := fs.AdaptiveV(); av > needV {
@@ -131,16 +145,12 @@ func (op *WriteOp) plan() []int {
 				}
 				break
 			}
-			dedTargets = append(dedTargets, id)
+			targets = append(targets, id)
 		}
 	}
 
-	volTargets := fs.chooseVolatile(needV-v, append(exclude, append(targets, dedTargets...)...))
-
-	// Relay order: local, then dedicated (anchor the copy early), then
-	// the remaining volatile holders.
-	targets = append(targets, dedTargets...)
-	targets = append(targets, volTargets...)
+	targets = fs.chooseVolatile(targets, needV-v, avoid)
+	op.targets = targets
 	return targets
 }
 
@@ -207,7 +217,7 @@ func (op *WriteOp) stageFailed(failedNode int) {
 		op.failed = append(op.failed, failedNode)
 	}
 	op.backoff = fs.sim.After(fs.cfg.WriteRetryBackoff, "dfs.writeRetry", func() {
-		op.backoff = nil
+		op.backoff = sim.Event{}
 		op.writeStage()
 	})
 }

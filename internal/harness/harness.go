@@ -2,11 +2,20 @@
 // and table of the evaluation section (Figures 1, 4, 5, 6, 7 and Table II)
 // maps to one experiment that sweeps the same configurations the authors
 // swept and prints the same rows/series they report.
+//
+// Sweeps are embarrassingly parallel: every (variant, rate, seed) cell is an
+// independent single-threaded simulation sharing no state with its siblings,
+// so RunSweep fans the cells out over a bounded worker pool and reassembles
+// the results in the serial order. Output — cell statistics, progress lines,
+// and error selection — is byte-identical at every Parallelism setting.
 package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/mapred"
@@ -22,7 +31,13 @@ type Config struct {
 	Scale int
 	// Rates are the machine-unavailability rates to sweep.
 	Rates []float64
-	// Progress, when non-nil, receives one line per completed run.
+	// Parallelism bounds how many simulations run concurrently in a
+	// sweep: 0 (the default) uses runtime.GOMAXPROCS(0), 1 runs serially.
+	// Results are deterministic at any setting.
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed run, in the
+	// serial (variant, rate, seed) order regardless of Parallelism. It may
+	// be invoked from worker goroutines, but never concurrently.
 	Progress func(string)
 }
 
@@ -42,6 +57,21 @@ func (c Config) withDefaults() Config {
 		c.Rates = []float64{0.1, 0.3, 0.5}
 	}
 	return c
+}
+
+// workers returns the effective pool size for n jobs.
+func (c Config) workers(n int) int {
+	p := c.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
 }
 
 // RunStats is a seed-averaged run outcome.
@@ -81,39 +111,70 @@ func runOne(opts core.Options, w workload.Spec) (core.Result, error) {
 	return s.RunWorkload(w)
 }
 
-// runAveraged runs a variant at one rate across all seeds and averages.
-func (c Config) runAveraged(v Variant, rate float64) (RunStats, error) {
+// seedRun is the outcome of one (variant, rate, seed) simulation cell.
+type seedRun struct {
+	stats    RunStats // single-run totals, Runs == 1
+	progress string   // formatted progress line, "" when Progress is nil
+}
+
+// runSeed executes the simulation for one sweep cell. It is safe to call
+// from multiple goroutines: every simulation owns its clock, rng, cluster
+// and runtime, and shares nothing.
+func (c Config) runSeed(v Variant, rate float64, seed uint64) (seedRun, error) {
+	cs := core.ClusterSpec{UnavailabilityRate: rate, Seed: seed}
+	opts, w := v.Build(cs)
+	w = workload.Scale(w, c.Scale)
+	res, err := runOne(opts, w)
+	if err != nil {
+		return seedRun{}, fmt.Errorf("%s rate=%.1f seed=%d: %w", v.Label, rate, seed, err)
+	}
+	p := res.Profile
+	st := RunStats{
+		Makespan:         p.Makespan,
+		AvgMapTime:       p.AvgMapTime,
+		AvgShuffleTime:   p.AvgShuffleTime,
+		AvgReduceTime:    p.AvgReduceTime,
+		KilledMaps:       float64(p.KilledMaps),
+		KilledReduces:    float64(p.KilledReduces),
+		Duplicated:       float64(p.DuplicatedTasks),
+		Invalidations:    float64(p.MapInvalidations),
+		ReplicationBytes: res.DFS.ReplicationBytes,
+		Runs:             1,
+	}
+	if res.HitHorizon || p.State != mapred.JobSucceeded {
+		st.Capped = true
+	}
+	sr := seedRun{stats: st}
+	if c.Progress != nil {
+		sr.progress = fmt.Sprintf("%-14s rate=%.1f seed=%d makespan=%.0fs dup=%d killedM=%d capped=%v "+
+			"map=%.0fs shuffle=%.0fs reduce=%.0fs declines=%d raises=%d repGB=%.1f stalls=%d",
+			v.Label, rate, seed, p.Makespan, p.DuplicatedTasks, p.KilledMaps, res.HitHorizon,
+			p.AvgMapTime, p.AvgShuffleTime, p.AvgReduceTime,
+			res.DFS.DedicatedDeclines, res.DFS.AdaptiveRaises, res.DFS.ReplicationBytes/1e9,
+			res.DFS.ReadStalls)
+	}
+	return sr, nil
+}
+
+// mergeSeeds folds per-seed runs into the averaged cell statistics. The
+// accumulation order is the seed order, so the floating-point result is
+// bit-identical to a serial sweep.
+func mergeSeeds(runs []seedRun) RunStats {
 	var st RunStats
-	for _, seed := range c.Seeds {
-		cs := core.ClusterSpec{UnavailabilityRate: rate, Seed: seed}
-		opts, w := v.Build(cs)
-		w = workload.Scale(w, c.Scale)
-		res, err := runOne(opts, w)
-		if err != nil {
-			return RunStats{}, fmt.Errorf("%s rate=%.1f seed=%d: %w", v.Label, rate, seed, err)
-		}
-		p := res.Profile
-		st.Makespan += p.Makespan
-		st.AvgMapTime += p.AvgMapTime
-		st.AvgShuffleTime += p.AvgShuffleTime
-		st.AvgReduceTime += p.AvgReduceTime
-		st.KilledMaps += float64(p.KilledMaps)
-		st.KilledReduces += float64(p.KilledReduces)
-		st.Duplicated += float64(p.DuplicatedTasks)
-		st.Invalidations += float64(p.MapInvalidations)
-		st.ReplicationBytes += res.DFS.ReplicationBytes
-		if res.HitHorizon || p.State != mapred.JobSucceeded {
+	for _, r := range runs {
+		st.Makespan += r.stats.Makespan
+		st.AvgMapTime += r.stats.AvgMapTime
+		st.AvgShuffleTime += r.stats.AvgShuffleTime
+		st.AvgReduceTime += r.stats.AvgReduceTime
+		st.KilledMaps += r.stats.KilledMaps
+		st.KilledReduces += r.stats.KilledReduces
+		st.Duplicated += r.stats.Duplicated
+		st.Invalidations += r.stats.Invalidations
+		st.ReplicationBytes += r.stats.ReplicationBytes
+		if r.stats.Capped {
 			st.Capped = true
 		}
-		st.Runs++
-		if c.Progress != nil {
-			c.Progress(fmt.Sprintf("%-14s rate=%.1f seed=%d makespan=%.0fs dup=%d killedM=%d capped=%v "+
-				"map=%.0fs shuffle=%.0fs reduce=%.0fs declines=%d raises=%d repGB=%.1f stalls=%d",
-				v.Label, rate, seed, p.Makespan, p.DuplicatedTasks, p.KilledMaps, res.HitHorizon,
-				p.AvgMapTime, p.AvgShuffleTime, p.AvgReduceTime,
-				res.DFS.DedicatedDeclines, res.DFS.AdaptiveRaises, res.DFS.ReplicationBytes/1e9,
-				res.DFS.ReadStalls))
-		}
+		st.Runs += r.stats.Runs
 	}
 	n := float64(st.Runs)
 	st.Makespan /= n
@@ -125,7 +186,41 @@ func (c Config) runAveraged(v Variant, rate float64) (RunStats, error) {
 	st.Duplicated /= n
 	st.Invalidations /= n
 	st.ReplicationBytes /= n
-	return st, nil
+	return st
+}
+
+// orderedProgress re-serializes progress lines from concurrent workers into
+// the deterministic job order, emitting each line as soon as every earlier
+// job has reported.
+type orderedProgress struct {
+	emit func(string)
+	mu   sync.Mutex
+	next int
+	buf  map[int]string
+}
+
+func newOrderedProgress(emit func(string)) *orderedProgress {
+	return &orderedProgress{emit: emit, buf: make(map[int]string)}
+}
+
+func (p *orderedProgress) done(i int, line string) {
+	if p == nil || p.emit == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf[i] = line
+	for {
+		l, ok := p.buf[p.next]
+		if !ok {
+			return
+		}
+		delete(p.buf, p.next)
+		p.next++
+		if l != "" {
+			p.emit(l)
+		}
+	}
 }
 
 // Sweep is a complete figure's data: variant × rate → stats.
@@ -136,19 +231,92 @@ type Sweep struct {
 	Cells    map[string]map[float64]RunStats
 }
 
-// RunSweep evaluates every variant at every rate.
+// RunSweep evaluates every variant at every rate across every seed, running
+// the independent cells on a worker pool of Config.Parallelism goroutines.
+// Cell statistics, progress ordering and error selection are identical to a
+// serial sweep.
 func (c Config) RunSweep(title string, variants []Variant) (*Sweep, error) {
 	c = c.withDefaults()
 	sw := &Sweep{Title: title, Rates: c.Rates, Cells: make(map[string]map[float64]RunStats)}
+
+	type jobSpec struct {
+		v    Variant
+		rate float64
+		seed uint64
+	}
+	var jobs []jobSpec // serial order: variant, then rate, then seed
 	for _, v := range variants {
 		sw.Variants = append(sw.Variants, v.Label)
 		sw.Cells[v.Label] = make(map[float64]RunStats)
 		for _, rate := range c.Rates {
-			st, err := c.runAveraged(v, rate)
-			if err != nil {
-				return nil, err
+			for _, seed := range c.Seeds {
+				jobs = append(jobs, jobSpec{v: v, rate: rate, seed: seed})
 			}
-			sw.Cells[v.Label][rate] = st
+		}
+	}
+	if len(jobs) == 0 {
+		return sw, nil
+	}
+
+	results := make([]seedRun, len(jobs))
+	errs := make([]error, len(jobs))
+	progress := newOrderedProgress(c.Progress)
+
+	if par := c.workers(len(jobs)); par == 1 {
+		for i, jb := range jobs {
+			results[i], errs[i] = c.runSeed(jb.v, jb.rate, jb.seed)
+			if errs[i] != nil {
+				break // fail fast, like the serial sweep always did
+			}
+			progress.done(i, results[i].progress)
+		}
+	} else {
+		var next atomic.Int64
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					// Check before claiming: a claimed index always runs,
+					// so every job below the first failure is recorded and
+					// the minimum-index error matches a serial sweep.
+					if failed.Load() {
+						return
+					}
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					jb := jobs[i]
+					results[i], errs[i] = c.runSeed(jb.v, jb.rate, jb.seed)
+					if errs[i] != nil {
+						// Fail fast: in-flight cells finish, but no new
+						// ones start.
+						failed.Store(true)
+						return
+					}
+					progress.done(i, results[i].progress)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// A serial sweep stops at the first failing cell; report the same one.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Deterministic assembly: fold seeds per cell in serial order.
+	k := 0
+	for _, v := range variants {
+		for _, rate := range c.Rates {
+			sw.Cells[v.Label][rate] = mergeSeeds(results[k : k+len(c.Seeds)])
+			k += len(c.Seeds)
 		}
 	}
 	return sw, nil

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dfs"
 	"repro/internal/netmodel"
+	"repro/internal/sim"
 )
 
 // launch starts a new attempt of t on tt.
@@ -124,7 +125,7 @@ func (jt *JobTracker) resumeCompute(in *Instance) {
 	in.computeEv = jt.sim.After(in.cpuLeft, "task.compute", func() {
 		in.computing = false
 		in.cpuLeft = 0
-		in.computeEv = nil
+		in.computeEv = sim.Event{}
 		jt.startWrite(in)
 	})
 }
@@ -139,7 +140,7 @@ func (jt *JobTracker) pauseCompute(in *Instance) {
 	}
 	in.computing = false
 	jt.sim.Cancel(in.computeEv)
-	in.computeEv = nil
+	in.computeEv = sim.Event{}
 }
 
 // startWrite writes the attempt's output through the DFS.

@@ -24,7 +24,10 @@ type JobTracker struct {
 	cfg SchedConfig
 
 	trackers []*TaskTracker
-	job      *Job
+	// hybridOrder lists trackers dedicated-first, precomputed once (the
+	// fleet is fixed) so the heartbeat's speculative pass never allocates.
+	hybridOrder []*TaskTracker
+	job         *Job
 
 	scheduleSeq int
 
@@ -47,6 +50,8 @@ func NewJobTracker(s *sim.Simulation, cl *cluster.Cluster, fs *dfs.FileSystem, n
 		node := n
 		n.Watch(func(_ *cluster.Node, available bool) { jt.trackerChanged(node, available) })
 	}
+	jt.hybridOrder = append(jt.hybridOrder, jt.dedicatedTrackers()...)
+	jt.hybridOrder = append(jt.hybridOrder, jt.volatileTrackers()...)
 	s.Ticker(cfg.HeartbeatInterval, "jt.heartbeat", jt.tick)
 	return jt, nil
 }
@@ -107,7 +112,7 @@ func (jt *JobTracker) trackerChanged(n *cluster.Node, available bool) {
 	}
 	jt.sim.Cancel(tt.suspendEv)
 	jt.sim.Cancel(tt.expireEv)
-	tt.suspendEv, tt.expireEv = nil, nil
+	tt.suspendEv, tt.expireEv = sim.Event{}, sim.Event{}
 	tt.expired = false
 	tt.suspected = false
 	for _, in := range tt.running {
@@ -142,10 +147,12 @@ func (jt *JobTracker) speculativeActive() int {
 		return 0
 	}
 	n := 0
-	for _, t := range append(append([]*Task(nil), jt.job.maps...), jt.job.reduces...) {
-		for _, in := range t.instances {
-			if in.running() && in.speculative && !in.inactive {
-				n++
+	for _, tasks := range [2][]*Task{jt.job.maps, jt.job.reduces} {
+		for _, t := range tasks {
+			for _, in := range t.instances {
+				if in.running() && in.speculative && !in.inactive {
+					n++
+				}
 			}
 		}
 	}
@@ -183,7 +190,7 @@ func (jt *JobTracker) tick() {
 	// offered first so backup copies land on reliable machines.
 	order := jt.trackers
 	if jt.cfg.Policy == PolicyMOON && jt.cfg.Hybrid {
-		order = append(append([]*TaskTracker(nil), jt.dedicatedTrackers()...), jt.volatileTrackers()...)
+		order = jt.hybridOrder
 	}
 	for _, tt := range order {
 		for tt.freeSlots(MapTask) > 0 {

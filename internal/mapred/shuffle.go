@@ -32,7 +32,7 @@ type shuffleState struct {
 
 	fetched  int
 	inflight int
-	retryEv  *sim.Event
+	retryEv  sim.Event
 	finished bool
 }
 
@@ -168,11 +168,11 @@ func (sh *shuffleState) mapInvalidated(m int) {
 }
 
 func (sh *shuffleState) armRetry(delay float64) {
-	if sh.retryEv != nil && sh.retryEv.Pending() {
+	if sh.retryEv.Pending() {
 		return
 	}
 	sh.retryEv = sh.jt.sim.After(delay, "shuffle.retry", func() {
-		sh.retryEv = nil
+		sh.retryEv = sim.Event{}
 		sh.pump()
 	})
 }
@@ -190,7 +190,7 @@ func (sh *shuffleState) complete() {
 func (sh *shuffleState) cancel() {
 	sh.finished = true
 	sh.jt.sim.Cancel(sh.retryEv)
-	sh.retryEv = nil
+	sh.retryEv = sim.Event{}
 	for m, f := range sh.flows {
 		if f != nil {
 			sh.flows[m] = nil

@@ -159,7 +159,7 @@ type Instance struct {
 	cpuLeft      float64
 	runningSince float64
 	computing    bool
-	computeEv    *sim.Event
+	computeEv    sim.Event
 
 	// I/O handles, canceled on kill.
 	readFlow *netmodel.Flow

@@ -17,8 +17,8 @@ type TaskTracker struct {
 	running []*Instance
 
 	// JobTracker-side detection events, armed when heartbeats stop.
-	suspendEv *sim.Event
-	expireEv  *sim.Event
+	suspendEv sim.Event
+	expireEv  sim.Event
 
 	// suspected marks a tracker whose instances were flagged inactive
 	// (MOON suspension detection).

@@ -68,8 +68,8 @@ type Flow struct {
 	lastUpdate float64
 
 	done       func(error)
-	completion *sim.Event
-	stall      *sim.Event
+	completion sim.Event
+	stall      sim.Event
 	finished   bool
 }
 
@@ -92,6 +92,11 @@ type Network struct {
 	cfg    Config
 	nodes  []*nodeState
 	nextID uint64
+
+	// scratch is a stack of reusable flow buffers for update iteration
+	// (refresh can re-enter updateNode via finish, so one buffer is not
+	// enough; a stack keeps nesting safe without per-event allocation).
+	scratch [][]*Flow
 
 	// TotalBytes counts every byte delivered by completed or partial
 	// flows, fleet-wide.
@@ -216,12 +221,34 @@ func (n *Network) currentRate(f *Flow) float64 {
 	return dstShare
 }
 
+// takeScratch pops a reusable flow buffer (snapshotting a node's flow lists
+// before iteration, since refresh/finish mutate them).
+func (n *Network) takeScratch() []*Flow {
+	if k := len(n.scratch); k > 0 {
+		b := n.scratch[k-1]
+		n.scratch = n.scratch[:k-1]
+		return b[:0]
+	}
+	return nil
+}
+
+func (n *Network) putScratch(b []*Flow) {
+	for i := range b {
+		b[i] = nil
+	}
+	n.scratch = append(n.scratch, b)
+}
+
 // updateNode resettles and reschedules every flow touching the node.
 func (n *Network) updateNode(nodeID int) {
 	st := n.nodes[nodeID]
-	for _, f := range append(append([]*Flow(nil), st.remote...), st.local...) {
+	buf := n.takeScratch()
+	buf = append(buf, st.remote...)
+	buf = append(buf, st.local...)
+	for _, f := range buf {
 		n.refresh(f)
 	}
+	n.putScratch(buf)
 }
 
 // refresh recomputes one flow's rate and completion time.
@@ -232,7 +259,7 @@ func (n *Network) refresh(f *Flow) {
 	n.settle(f)
 	f.rate = n.currentRate(f)
 	n.sim.Cancel(f.completion)
-	f.completion = nil
+	f.completion = sim.Event{}
 	if f.remaining <= 1e-6 {
 		n.finish(f, nil)
 		return
@@ -252,14 +279,14 @@ func (n *Network) checkStall(f *Flow) {
 		return
 	}
 	down := !f.Src.Available() || !f.Dst.Available()
-	if down && f.stall == nil {
+	if down && !f.stall.Pending() {
 		f.stall = n.sim.After(n.cfg.StallTimeout, "net.stall", func() {
-			f.stall = nil
+			f.stall = sim.Event{}
 			n.finish(f, ErrStalled)
 		})
-	} else if !down && f.stall != nil {
+	} else if !down && f.stall.Pending() {
 		n.sim.Cancel(f.stall)
-		f.stall = nil
+		f.stall = sim.Event{}
 	}
 }
 
@@ -272,7 +299,7 @@ func (n *Network) finish(f *Flow, err error) {
 	f.finished = true
 	n.sim.Cancel(f.completion)
 	n.sim.Cancel(f.stall)
-	f.completion, f.stall = nil, nil
+	f.completion, f.stall = sim.Event{}, sim.Event{}
 	if f.local() {
 		removeFlow(&n.nodes[f.Src.ID].local, f)
 		n.updateNode(f.Src.ID)
@@ -291,13 +318,16 @@ func (n *Network) finish(f *Flow, err error) {
 // or recover, and stall timers arm/disarm.
 func (n *Network) nodeChanged(node *cluster.Node) {
 	st := n.nodes[node.ID]
-	flows := append(append([]*Flow(nil), st.remote...), st.local...)
-	for _, f := range flows {
+	buf := n.takeScratch()
+	buf = append(buf, st.remote...)
+	buf = append(buf, st.local...)
+	for _, f := range buf {
 		n.refresh(f)
 	}
-	for _, f := range flows {
+	for _, f := range buf {
 		n.checkStall(f)
 	}
+	n.putScratch(buf)
 }
 
 func removeFlow(s *[]*Flow, f *Flow) {

@@ -5,10 +5,18 @@
 // scheduled for the same instant fire in schedule order, which together with
 // the deterministic rng package makes every run bit-reproducible for a given
 // seed. All model time is in simulated seconds (float64).
+//
+// The event queue is allocation-lean: event storage is pooled in a
+// per-Simulation free list and recycled after an event fires, so the hot
+// schedule→fire→reschedule cycle of tickers, heartbeats and flow-completion
+// events runs without per-event allocation at steady state. Cancel is lazy —
+// it marks the event and the queue skips it at pop time instead of paying an
+// O(log n) heap removal; when canceled events pile up the queue compacts in
+// one O(n) pass, so cancel-heavy churn (flow reschedules) stays amortized
+// O(1) and the heap never fills with corpses.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -19,60 +27,54 @@ type Time = float64
 // Forever is a time later than any event the simulator will reach.
 const Forever Time = math.MaxFloat64
 
-// Event is a scheduled callback. The zero value is invalid; events are
-// created through Simulation.Schedule and friends.
-type Event struct {
-	At       Time
+// node is the pooled storage behind one scheduled callback. After the event
+// fires or its cancellation is drained, gen is bumped and the node returns
+// to the free list, invalidating every outstanding handle to it.
+type node struct {
+	at       Time
 	fn       func()
 	seq      uint64
-	index    int // heap index, -1 when not queued
+	gen      uint64
 	canceled bool
+	queued   bool
 	name     string
 }
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e == nil || e.canceled }
+// Event is a generation-checked handle for a scheduled callback. The zero
+// Event references nothing and behaves like an event that already ended:
+// Cancel is a no-op, Pending reports false. Handles stay safe after the
+// underlying storage is recycled — a stale handle can never cancel or
+// observe an unrelated later event.
+type Event struct {
+	n   *node
+	gen uint64
+}
+
+// live reports whether the handle still refers to its original event.
+func (e Event) live() bool { return e.n != nil && e.n.gen == e.gen }
+
+// Canceled reports whether the event is dead: canceled, or already fired
+// and its storage retired. It returns false for a pending event and for an
+// event currently executing its callback.
+func (e Event) Canceled() bool { return !e.live() || e.n.canceled }
 
 // Pending reports whether the event is still queued to fire.
-func (e *Event) Pending() bool { return e != nil && !e.canceled && e.index >= 0 }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+func (e Event) Pending() bool { return e.live() && e.n.queued && !e.n.canceled }
 
 // Simulation is a discrete-event scheduler. It is not safe for concurrent
-// use; the whole model runs single-threaded over virtual time.
+// use; the whole model runs single-threaded over virtual time. Independent
+// Simulations share nothing and may run on different goroutines.
 type Simulation struct {
 	now     Time
-	queue   eventHeap
+	queue   []*node // binary heap ordered by (at, seq)
+	free    []*node // retired nodes awaiting reuse
 	nextSeq uint64
-	// Fired counts events executed, for diagnostics and livelock guards.
-	fired   uint64
+	// fired counts events executed, for diagnostics and livelock guards.
+	fired uint64
+	// canceled counts events killed via Cancel before they could fire.
+	canceled uint64
+	// dead counts canceled nodes still occupying queue slots.
+	dead    int
 	stopped bool
 }
 
@@ -87,49 +89,160 @@ func (s *Simulation) Now() Time { return s.now }
 // Fired returns the number of events executed so far.
 func (s *Simulation) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events currently queued.
-func (s *Simulation) Pending() int { return len(s.queue) }
+// Canceled returns the number of events canceled before firing.
+func (s *Simulation) Canceled() uint64 { return s.canceled }
+
+// Pending returns the number of events currently queued to fire (canceled
+// events awaiting lazy removal are not counted).
+func (s *Simulation) Pending() int { return len(s.queue) - s.dead }
+
+// --- heap ------------------------------------------------------------------
+
+func (s *Simulation) less(a, b *node) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulation) push(n *node) {
+	s.queue = append(s.queue, n)
+	i := len(s.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(s.queue[i], s.queue[parent]) {
+			break
+		}
+		s.queue[i], s.queue[parent] = s.queue[parent], s.queue[i]
+		i = parent
+	}
+}
+
+// popMin removes and returns the heap head; the queue must be non-empty.
+func (s *Simulation) popMin() *node {
+	q := s.queue
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = nil
+	s.queue = q[:last]
+	s.siftDown(0)
+	return top
+}
+
+func (s *Simulation) siftDown(i int) {
+	q := s.queue
+	n := len(q)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && s.less(q[right], q[left]) {
+			min = right
+		}
+		if !s.less(q[min], q[i]) {
+			return
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+}
+
+// --- node pool -------------------------------------------------------------
+
+func (s *Simulation) alloc() *node {
+	if k := len(s.free); k > 0 {
+		n := s.free[k-1]
+		s.free = s.free[:k-1]
+		return n
+	}
+	return &node{}
+}
+
+// retire invalidates all handles to the node and returns it to the pool.
+func (s *Simulation) retire(n *node) {
+	n.gen++
+	n.fn = nil
+	n.queued = false
+	s.free = append(s.free, n)
+}
+
+// --- scheduling ------------------------------------------------------------
 
 // Schedule queues fn to run at absolute time at. Scheduling in the past
 // panics: it always indicates a model bug.
-func (s *Simulation) Schedule(at Time, name string, fn func()) *Event {
+func (s *Simulation) Schedule(at Time, name string, fn func()) Event {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, at, s.now))
 	}
-	e := &Event{At: at, fn: fn, seq: s.nextSeq, name: name}
+	n := s.alloc()
+	n.at = at
+	n.fn = fn
+	n.name = name
+	n.seq = s.nextSeq
+	n.canceled = false
+	n.queued = true
 	s.nextSeq++
-	heap.Push(&s.queue, e)
-	return e
+	s.push(n)
+	return Event{n: n, gen: n.gen}
 }
 
 // After queues fn to run delay seconds from now. A non-positive delay runs
 // at the current instant, after events already queued for this instant.
-func (s *Simulation) After(delay Time, name string, fn func()) *Event {
+func (s *Simulation) After(delay Time, name string, fn func()) Event {
 	if delay < 0 {
 		delay = 0
 	}
 	return s.Schedule(s.now+delay, name, fn)
 }
 
-// Cancel prevents a pending event from firing. Canceling a nil, fired, or
-// already-canceled event is a no-op.
-func (s *Simulation) Cancel(e *Event) {
-	if e == nil || e.canceled {
+// Cancel prevents a pending event from firing. Canceling a zero, stale,
+// fired, or already-canceled event is a no-op. The queue slot is reclaimed
+// lazily: at pop time, or in a bulk compaction once canceled events
+// outnumber live ones.
+func (s *Simulation) Cancel(e Event) {
+	if !e.live() || e.n.canceled || !e.n.queued {
 		return
 	}
-	e.canceled = true
-	if e.index >= 0 {
-		heap.Remove(&s.queue, e.index)
+	e.n.canceled = true
+	s.canceled++
+	s.dead++
+	if s.dead > 64 && s.dead > len(s.queue)/2 {
+		s.compact()
 	}
 }
 
-// Reschedule moves a pending event to a new time, preserving its callback.
-// If the event already fired or was canceled, a fresh event is scheduled.
-func (s *Simulation) Reschedule(e *Event, at Time) *Event {
-	if e == nil {
-		return nil
+// compact rebuilds the heap without canceled nodes, retiring their storage.
+func (s *Simulation) compact() {
+	live := s.queue[:0]
+	for _, n := range s.queue {
+		if n.canceled {
+			s.retire(n)
+		} else {
+			live = append(live, n)
+		}
 	}
-	fn, name := e.fn, e.name
+	for i := len(live); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = live
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+	s.dead = 0
+}
+
+// Reschedule moves a pending event to a new time, preserving its callback.
+// If the event was canceled but not yet reclaimed, a fresh event with the
+// same callback is scheduled. A zero or stale handle (the event already
+// fired) returns the zero Event: the callback is gone.
+func (s *Simulation) Reschedule(e Event, at Time) Event {
+	if !e.live() || e.n.fn == nil {
+		return Event{}
+	}
+	fn, name := e.n.fn, e.n.name
 	s.Cancel(e)
 	return s.Schedule(at, name, fn)
 }
@@ -137,23 +250,41 @@ func (s *Simulation) Reschedule(e *Event, at Time) *Event {
 // Stop makes Run return after the currently executing event completes.
 func (s *Simulation) Stop() { s.stopped = true }
 
+// peek drains canceled events from the head of the queue — recycling their
+// storage — and returns the earliest live node, or nil if the queue is
+// empty. Step and RunUntil share this single draining path.
+func (s *Simulation) peek() *node {
+	for len(s.queue) > 0 {
+		n := s.queue[0]
+		if !n.canceled {
+			return n
+		}
+		s.popMin()
+		s.dead--
+		s.retire(n)
+	}
+	return nil
+}
+
 // Step executes the single earliest pending event and returns true, or
 // returns false if the queue is empty.
 func (s *Simulation) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.canceled {
-			continue
-		}
-		if e.At < s.now {
-			panic(fmt.Sprintf("sim: time went backwards: %v -> %v (%s)", s.now, e.At, e.name))
-		}
-		s.now = e.At
-		s.fired++
-		e.fn()
-		return true
+	n := s.peek()
+	if n == nil {
+		return false
 	}
-	return false
+	s.popMin()
+	if n.at < s.now {
+		panic(fmt.Sprintf("sim: time went backwards: %v -> %v (%s)", s.now, n.at, n.name))
+	}
+	s.now = n.at
+	s.fired++
+	n.queued = false
+	n.fn()
+	// Retire only after the callback: a handle held by the callback itself
+	// (or by code it calls synchronously) stays valid while it runs.
+	s.retire(n)
+	return true
 }
 
 // RunUntil executes events until the queue is empty, Stop is called, or the
@@ -163,20 +294,11 @@ func (s *Simulation) Step() bool {
 func (s *Simulation) RunUntil(deadline Time) {
 	s.stopped = false
 	for !s.stopped {
-		// Peek without firing so the deadline is honored exactly.
-		var next *Event
-		for len(s.queue) > 0 {
-			if s.queue[0].canceled {
-				heap.Pop(&s.queue)
-				continue
-			}
-			next = s.queue[0]
-			break
-		}
+		next := s.peek()
 		if next == nil {
 			return
 		}
-		if next.At > deadline {
+		if next.at > deadline {
 			s.now = deadline
 			return
 		}
@@ -188,12 +310,14 @@ func (s *Simulation) RunUntil(deadline Time) {
 func (s *Simulation) Run() { s.RunUntil(Forever) }
 
 // Ticker repeatedly invokes fn every interval seconds until canceled via the
-// returned stop function. The first tick fires one interval from now.
+// returned stop function. The first tick fires one interval from now. The
+// tick chain is allocation-free at steady state: each fired tick's storage
+// is recycled by the free list into the next tick's Schedule.
 func (s *Simulation) Ticker(interval Time, name string, fn func()) (stop func()) {
 	if interval <= 0 {
 		panic("sim: Ticker interval must be positive")
 	}
-	var ev *Event
+	var ev Event
 	stopped := false
 	var tick func()
 	tick = func() {

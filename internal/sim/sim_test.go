@@ -79,15 +79,15 @@ func TestCancel(t *testing.T) {
 	if !e.Canceled() {
 		t.Fatal("Canceled() = false after Cancel")
 	}
-	// Cancel of nil and double cancel are no-ops.
-	s.Cancel(nil)
+	// Cancel of the zero handle and double cancel are no-ops.
+	s.Cancel(Event{})
 	s.Cancel(e)
 }
 
 func TestCancelDuringRun(t *testing.T) {
 	s := New()
 	fired := false
-	var victim *Event
+	var victim Event
 	victim = s.Schedule(2, "victim", func() { fired = true })
 	s.Schedule(1, "killer", func() { s.Cancel(victim) })
 	s.Run()

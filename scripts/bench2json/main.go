@@ -1,0 +1,118 @@
+// Command bench2json converts `go test -bench` text output into a JSON
+// document for archiving as a CI artifact.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x ./... | tee bench.txt
+//	go run ./scripts/bench2json -in bench.txt -out BENCH_results.json
+//
+// Each benchmark line becomes one record with the iteration count and every
+// reported metric (ns/op, B/op, allocs/op, and custom b.ReportMetric units).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	in := flag.String("in", "-", "bench output file ('-' for stdin)")
+	out := flag.String("out", "-", "JSON destination ('-' for stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	results, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fatal(err)
+	}
+}
+
+// parse extracts benchmark records from go test output. A benchmark line
+// looks like:
+//
+//	BenchmarkName-8   100   123456 ns/op   12 B/op   1.9 custom/metric
+func parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{
+			Name:       trimMaxprocs(fields[0]),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		results = append(results, res)
+	}
+	return results, sc.Err()
+}
+
+// trimMaxprocs strips the numeric -N GOMAXPROCS suffix from a benchmark
+// name, if present.
+func trimMaxprocs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench2json:", err)
+	os.Exit(1)
+}
