@@ -5,8 +5,9 @@
 //
 //	moonbench -experiment fig4 -app sort
 //	moonbench -experiment all -scale 4 -seeds 1,2,3
+//	moonbench -experiment multi -policy fair -jobs 4 -stagger 300
 //
-// Experiments: fig1, fig4, fig5, fig6, table2, fig7, all.
+// Experiments: fig1, fig4, fig5, fig6, table2, fig7, multi, all.
 package main
 
 import (
@@ -17,17 +18,21 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/mapred"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig1|fig4|fig5|fig6|table2|fig7|ablation|all")
+		experiment = flag.String("experiment", "all", "fig1|fig4|fig5|fig6|table2|fig7|multi|ablation|all")
 		app        = flag.String("app", "both", "sort|wordcount|both")
 		seeds      = flag.String("seeds", "1", "comma-separated churn seeds to average over")
 		scale      = flag.Int("scale", 1, "divide workload size by this factor (1 = paper scale)")
 		rates      = flag.String("rates", "0.1,0.3,0.5", "comma-separated unavailability rates")
 		ablation   = flag.String("ablation", "homestretch", "homestretch|speccap|hibernate|adaptive")
 		parallel   = flag.Int("parallel", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
+		policy     = flag.String("policy", "both", "multi-job slot arbitration: fifo|fair|both")
+		jobs       = flag.Int("jobs", 3, "multi-job experiment: jobs per run")
+		stagger    = flag.Float64("stagger", 60, "multi-job experiment: seconds between submissions")
 		verbose    = flag.Bool("v", false, "print one line per run")
 	)
 	flag.Parse()
@@ -98,6 +103,23 @@ func main() {
 				fatal(err)
 			}
 			must(sw.RenderTimes(os.Stdout))
+			fmt.Println()
+		}
+		if run("multi") {
+			var policies []mapred.SchedPolicy
+			if *policy != "both" {
+				pol, err := mapred.JobPolicyByName(*policy)
+				if err != nil {
+					fatal(err)
+				}
+				policies = append(policies, pol)
+			}
+			title := fmt.Sprintf("Multi-job (%s): %d jobs staggered %.0fs", a, *jobs, *stagger)
+			sw, err := cfg.RunMultiSweep(title, harness.MultiVariants(a, *jobs, *stagger, policies...))
+			if err != nil {
+				fatal(err)
+			}
+			must(sw.Render(os.Stdout))
 			fmt.Println()
 		}
 		if *experiment == "ablation" {

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dfs"
+	"repro/internal/mapred"
+	"repro/internal/workload"
+)
+
+// JobResult is the outcome of one job of a multi-job run.
+type JobResult struct {
+	Profile mapred.Profile
+	// HitHorizon marks a job still unfinished at the trace horizon; its
+	// Makespan is then the time from submission to the horizon.
+	HitHorizon bool
+}
+
+// MultiResult aggregates a multi-job run.
+type MultiResult struct {
+	// Jobs lists per-job outcomes in submission order.
+	Jobs []JobResult
+	DFS  dfs.Metrics
+	// Span is run start → last job completion (the horizon when capped);
+	// the denominator of Throughput.
+	Span float64
+	// Completed counts jobs that succeeded.
+	Completed int
+	// Throughput is completed jobs per hour of span.
+	Throughput float64
+}
+
+// NewForMultiWorkload builds a simulation whose DFS block size matches the
+// workload's common input split (jobs that skip input reads impose no
+// constraint; MultiSpec.Validate enforces that the rest agree).
+func NewForMultiWorkload(opts Options, m workload.MultiSpec) (*Simulation, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if split := m.SplitSize(); split > 0 {
+		opts.DFS.BlockSize = split
+	}
+	return NewSimulation(opts)
+}
+
+// RunMultiWorkload stages every job's input up front, submits each job at
+// its offset (relative to the simulation clock at call time), and runs
+// until all jobs finish or the trace horizon ends. Job arbitration
+// follows the scheduler's configured JobPolicy.
+func (s *Simulation) RunMultiWorkload(m workload.MultiSpec) (MultiResult, error) {
+	if err := m.Validate(); err != nil {
+		return MultiResult{}, err
+	}
+	origin := s.Sim.Now()
+	for _, mj := range m.Jobs {
+		if err := s.StageInput(mj.Spec.Job.InputFile, mj.Spec.InputSize, mj.Spec.InputFactor); err != nil {
+			return MultiResult{}, err
+		}
+	}
+
+	jobs := make([]*mapred.Job, len(m.Jobs))
+	var submitErr error
+	remaining := len(m.Jobs)
+	onDone := func(*mapred.Job) {
+		remaining--
+		if remaining == 0 {
+			s.Sim.Stop() // nothing after the last job matters to the experiment
+		}
+	}
+	for i, mj := range m.Jobs {
+		i, mj := i, mj
+		submit := func() {
+			j, err := s.JT.Submit(mj.Spec.Job, onDone)
+			if err != nil {
+				submitErr = fmt.Errorf("core: submit %s at t=%v: %w", mj.Spec.Job.Name, mj.Offset, err)
+				s.Sim.Stop()
+				return
+			}
+			jobs[i] = j
+		}
+		if mj.Offset == 0 {
+			submit()
+		} else {
+			s.Sim.Schedule(origin+mj.Offset, "core.submit", submit)
+		}
+		if submitErr != nil {
+			return MultiResult{}, submitErr
+		}
+	}
+
+	horizon := s.opts.Cluster.Horizon
+	s.Sim.RunUntil(horizon)
+	if submitErr != nil {
+		return MultiResult{}, submitErr
+	}
+
+	res := MultiResult{DFS: s.FS.Metrics}
+	anyUnfinished := false
+	for i, j := range jobs {
+		if j == nil {
+			// The horizon ended before this job's submission offset; like
+			// any capped job it reports submission → horizon (zero here).
+			mk := horizon - (origin + m.Jobs[i].Offset)
+			if mk < 0 {
+				mk = 0
+			}
+			res.Jobs = append(res.Jobs, JobResult{HitHorizon: true,
+				Profile: mapred.Profile{Job: m.Jobs[i].Spec.Job.Name, Makespan: mk}})
+			anyUnfinished = true
+			continue
+		}
+		jr := JobResult{Profile: j.Profile()}
+		if !j.Done() {
+			jr.HitHorizon = true
+			jr.Profile.Makespan = horizon - j.SubmittedAt()
+			anyUnfinished = true
+		} else if sp := j.FinishedAt() - origin; sp > res.Span {
+			// Failed jobs end the run's activity too; only jobs still
+			// unfinished at the horizon stretch the span to it.
+			res.Span = sp
+		}
+		res.Jobs = append(res.Jobs, jr)
+		if j.State() == mapred.JobSucceeded {
+			res.Completed++
+		}
+	}
+	if anyUnfinished {
+		res.Span = horizon - origin
+	}
+	if res.Span > 0 {
+		res.Throughput = float64(res.Completed) / (res.Span / 3600)
+	}
+	return res, nil
+}

@@ -111,22 +111,17 @@ func runOne(opts core.Options, w workload.Spec) (core.Result, error) {
 	return s.RunWorkload(w)
 }
 
-// seedRun is the outcome of one (variant, rate, seed) simulation cell.
-type seedRun struct {
-	stats    RunStats // single-run totals, Runs == 1
-	progress string   // formatted progress line, "" when Progress is nil
-}
-
-// runSeed executes the simulation for one sweep cell. It is safe to call
-// from multiple goroutines: every simulation owns its clock, rng, cluster
-// and runtime, and shares nothing.
-func (c Config) runSeed(v Variant, rate float64, seed uint64) (seedRun, error) {
+// runSeed executes the simulation for one sweep cell, returning the cell's
+// stats and its formatted progress line ("" when Progress is nil). It is
+// safe to call from multiple goroutines: every simulation owns its clock,
+// rng, cluster and runtime, and shares nothing.
+func (c Config) runSeed(v Variant, rate float64, seed uint64) (RunStats, string, error) {
 	cs := core.ClusterSpec{UnavailabilityRate: rate, Seed: seed}
 	opts, w := v.Build(cs)
 	w = workload.Scale(w, c.Scale)
 	res, err := runOne(opts, w)
 	if err != nil {
-		return seedRun{}, fmt.Errorf("%s rate=%.1f seed=%d: %w", v.Label, rate, seed, err)
+		return RunStats{}, "", fmt.Errorf("%s rate=%.1f seed=%d: %w", v.Label, rate, seed, err)
 	}
 	p := res.Profile
 	st := RunStats{
@@ -144,37 +139,37 @@ func (c Config) runSeed(v Variant, rate float64, seed uint64) (seedRun, error) {
 	if res.HitHorizon || p.State != mapred.JobSucceeded {
 		st.Capped = true
 	}
-	sr := seedRun{stats: st}
+	progress := ""
 	if c.Progress != nil {
-		sr.progress = fmt.Sprintf("%-14s rate=%.1f seed=%d makespan=%.0fs dup=%d killedM=%d capped=%v "+
+		progress = fmt.Sprintf("%-14s rate=%.1f seed=%d makespan=%.0fs dup=%d killedM=%d capped=%v "+
 			"map=%.0fs shuffle=%.0fs reduce=%.0fs declines=%d raises=%d repGB=%.1f stalls=%d",
 			v.Label, rate, seed, p.Makespan, p.DuplicatedTasks, p.KilledMaps, res.HitHorizon,
 			p.AvgMapTime, p.AvgShuffleTime, p.AvgReduceTime,
 			res.DFS.DedicatedDeclines, res.DFS.AdaptiveRaises, res.DFS.ReplicationBytes/1e9,
 			res.DFS.ReadStalls)
 	}
-	return sr, nil
+	return st, progress, nil
 }
 
 // mergeSeeds folds per-seed runs into the averaged cell statistics. The
 // accumulation order is the seed order, so the floating-point result is
 // bit-identical to a serial sweep.
-func mergeSeeds(runs []seedRun) RunStats {
+func mergeSeeds(runs []RunStats) RunStats {
 	var st RunStats
 	for _, r := range runs {
-		st.Makespan += r.stats.Makespan
-		st.AvgMapTime += r.stats.AvgMapTime
-		st.AvgShuffleTime += r.stats.AvgShuffleTime
-		st.AvgReduceTime += r.stats.AvgReduceTime
-		st.KilledMaps += r.stats.KilledMaps
-		st.KilledReduces += r.stats.KilledReduces
-		st.Duplicated += r.stats.Duplicated
-		st.Invalidations += r.stats.Invalidations
-		st.ReplicationBytes += r.stats.ReplicationBytes
-		if r.stats.Capped {
+		st.Makespan += r.Makespan
+		st.AvgMapTime += r.AvgMapTime
+		st.AvgShuffleTime += r.AvgShuffleTime
+		st.AvgReduceTime += r.AvgReduceTime
+		st.KilledMaps += r.KilledMaps
+		st.KilledReduces += r.KilledReduces
+		st.Duplicated += r.Duplicated
+		st.Invalidations += r.Invalidations
+		st.ReplicationBytes += r.ReplicationBytes
+		if r.Capped {
 			st.Capped = true
 		}
-		st.Runs += r.stats.Runs
+		st.Runs += r.Runs
 	}
 	n := float64(st.Runs)
 	st.Makespan /= n
@@ -231,44 +226,25 @@ type Sweep struct {
 	Cells    map[string]map[float64]RunStats
 }
 
-// RunSweep evaluates every variant at every rate across every seed, running
-// the independent cells on a worker pool of Config.Parallelism goroutines.
-// Cell statistics, progress ordering and error selection are identical to a
-// serial sweep.
-func (c Config) RunSweep(title string, variants []Variant) (*Sweep, error) {
-	c = c.withDefaults()
-	sw := &Sweep{Title: title, Rates: c.Rates, Cells: make(map[string]map[float64]RunStats)}
-
-	type jobSpec struct {
-		v    Variant
-		rate float64
-		seed uint64
-	}
-	var jobs []jobSpec // serial order: variant, then rate, then seed
-	for _, v := range variants {
-		sw.Variants = append(sw.Variants, v.Label)
-		sw.Cells[v.Label] = make(map[float64]RunStats)
-		for _, rate := range c.Rates {
-			for _, seed := range c.Seeds {
-				jobs = append(jobs, jobSpec{v: v, rate: rate, seed: seed})
-			}
-		}
-	}
-	if len(jobs) == 0 {
-		return sw, nil
-	}
-
-	results := make([]seedRun, len(jobs))
-	errs := make([]error, len(jobs))
+// fanOut runs n independent cells on a worker pool of c.workers(n)
+// goroutines and returns the per-cell results in serial order. Each cell
+// returns its result plus a pre-formatted progress line, emitted in serial
+// order through c.Progress. On failure the error of the lowest-indexed
+// failing cell is returned and no cell after the first failure starts
+// (in-flight cells finish) — exactly the serial fail-fast behavior.
+func fanOut[T any](c Config, n int, run func(int) (T, string, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
 	progress := newOrderedProgress(c.Progress)
 
-	if par := c.workers(len(jobs)); par == 1 {
-		for i, jb := range jobs {
-			results[i], errs[i] = c.runSeed(jb.v, jb.rate, jb.seed)
+	if par := c.workers(n); par == 1 {
+		for i := 0; i < n; i++ {
+			var line string
+			results[i], line, errs[i] = run(i)
 			if errs[i] != nil {
 				break // fail fast, like the serial sweep always did
 			}
-			progress.done(i, results[i].progress)
+			progress.done(i, line)
 		}
 	} else {
 		var next atomic.Int64
@@ -280,24 +256,24 @@ func (c Config) RunSweep(title string, variants []Variant) (*Sweep, error) {
 				defer wg.Done()
 				for {
 					// Check before claiming: a claimed index always runs,
-					// so every job below the first failure is recorded and
+					// so every cell below the first failure is recorded and
 					// the minimum-index error matches a serial sweep.
 					if failed.Load() {
 						return
 					}
 					i := int(next.Add(1)) - 1
-					if i >= len(jobs) {
+					if i >= n {
 						return
 					}
-					jb := jobs[i]
-					results[i], errs[i] = c.runSeed(jb.v, jb.rate, jb.seed)
+					var line string
+					results[i], line, errs[i] = run(i)
 					if errs[i] != nil {
 						// Fail fast: in-flight cells finish, but no new
 						// ones start.
 						failed.Store(true)
 						return
 					}
-					progress.done(i, results[i].progress)
+					progress.done(i, line)
 				}
 			}()
 		}
@@ -309,6 +285,52 @@ func (c Config) RunSweep(title string, variants []Variant) (*Sweep, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	return results, nil
+}
+
+// sweepCells enumerates a sweep's (variant, rate, seed) cells in serial
+// order.
+type sweepCell struct {
+	variant int
+	rate    float64
+	seed    uint64
+}
+
+func (c Config) sweepCells(nVariants int) []sweepCell {
+	var cells []sweepCell
+	for v := 0; v < nVariants; v++ {
+		for _, rate := range c.Rates {
+			for _, seed := range c.Seeds {
+				cells = append(cells, sweepCell{variant: v, rate: rate, seed: seed})
+			}
+		}
+	}
+	return cells
+}
+
+// RunSweep evaluates every variant at every rate across every seed, running
+// the independent cells on a worker pool of Config.Parallelism goroutines.
+// Cell statistics, progress ordering and error selection are identical to a
+// serial sweep.
+func (c Config) RunSweep(title string, variants []Variant) (*Sweep, error) {
+	c = c.withDefaults()
+	sw := &Sweep{Title: title, Rates: c.Rates, Cells: make(map[string]map[float64]RunStats)}
+	for _, v := range variants {
+		sw.Variants = append(sw.Variants, v.Label)
+		sw.Cells[v.Label] = make(map[float64]RunStats)
+	}
+	cells := c.sweepCells(len(variants))
+	if len(cells) == 0 {
+		return sw, nil
+	}
+
+	results, err := fanOut(c, len(cells), func(i int) (RunStats, string, error) {
+		cell := cells[i]
+		return c.runSeed(variants[cell.variant], cell.rate, cell.seed)
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Deterministic assembly: fold seeds per cell in serial order.

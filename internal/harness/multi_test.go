@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// multiTestConfig keeps the multi-job sweep fast: heavily scaled jobs, two
+// rates, two seeds.
+func multiTestConfig() Config {
+	return Config{Seeds: []uint64{1, 2}, Scale: 16, Rates: []float64{0.1, 0.5}}
+}
+
+// TestMultiSweepCompletes: the canonical multi-job experiment completes
+// all jobs under both policies and reports coherent per-job makespans.
+func TestMultiSweepCompletes(t *testing.T) {
+	cfg := multiTestConfig()
+	sw, err := cfg.Multi("sort", 3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Variants) != 2 {
+		t.Fatalf("variants %v", sw.Variants)
+	}
+	for _, v := range sw.Variants {
+		for _, rate := range sw.Rates {
+			st := sw.Get(v, rate)
+			if st.Capped {
+				t.Errorf("%s/%v capped", v, rate)
+			}
+			if st.Completed != 3 {
+				t.Errorf("%s/%v completed %v, want 3", v, rate, st.Completed)
+			}
+			if len(st.JobMakespans) != 3 {
+				t.Fatalf("%s/%v job makespans %v", v, rate, st.JobMakespans)
+			}
+			for i, mk := range st.JobMakespans {
+				if mk <= 0 {
+					t.Errorf("%s/%v job %d makespan %v", v, rate, i, mk)
+				}
+			}
+			if st.Span <= 0 || st.Throughput <= 0 {
+				t.Errorf("%s/%v span %v throughput %v", v, rate, st.Span, st.Throughput)
+			}
+		}
+	}
+}
+
+// TestParallelMultiSweepMatchesSerial is the determinism guard for the
+// multi-job experiment on the shared worker pool: identical cells,
+// identical rendered tables, identically ordered progress lines at
+// Parallelism 1 and 8.
+func TestParallelMultiSweepMatchesSerial(t *testing.T) {
+	base := multiTestConfig()
+	variants := MultiVariants("sort", 3, 60)
+
+	run := func(parallelism int) (*MultiSweep, []string) {
+		cfg := base
+		cfg.Parallelism = parallelism
+		var progress []string
+		cfg.Progress = func(s string) { progress = append(progress, s) }
+		sw, err := cfg.RunMultiSweep("determinism", variants)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return sw, progress
+	}
+
+	serial, serialLines := run(1)
+	parallel, parallelLines := run(8)
+
+	for _, v := range serial.Variants {
+		for _, r := range serial.Rates {
+			a, b := serial.Get(v, r), parallel.Get(v, r)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("cell %s/%v differs:\nserial:   %+v\nparallel: %+v", v, r, a, b)
+			}
+		}
+	}
+
+	var bufA, bufB bytes.Buffer
+	if err := serial.Render(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Render(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Errorf("rendered tables differ:\n%s\nvs\n%s", bufA.String(), bufB.String())
+	}
+
+	if len(serialLines) != len(parallelLines) {
+		t.Fatalf("progress line count: serial %d, parallel %d", len(serialLines), len(parallelLines))
+	}
+	for i := range serialLines {
+		if serialLines[i] != parallelLines[i] {
+			t.Errorf("progress line %d differs:\nserial:   %s\nparallel: %s", i, serialLines[i], parallelLines[i])
+		}
+	}
+}
+
+// TestFIFOFavorsEarlyJobsFairShareBalances: in the same staggered stream,
+// FIFO gives the first job at least as good a makespan as fair-share does
+// (it never shares slots away from the head of the queue). A cheap sanity
+// check that the policy knob actually reaches the scheduler through every
+// layer of the harness.
+func TestFIFOFavorsEarlyJobsFairShareBalances(t *testing.T) {
+	cfg := Config{Seeds: []uint64{1}, Scale: 16, Rates: []float64{0.3}}
+	sw, err := cfg.Multi("sort", 3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo := sw.Get("MOON-fifo", 0.3)
+	fair := sw.Get("MOON-fair", 0.3)
+	if fifo.JobMakespans[0] > fair.JobMakespans[0]+1e-9 {
+		t.Errorf("FIFO first-job makespan %v worse than fair-share %v",
+			fifo.JobMakespans[0], fair.JobMakespans[0])
+	}
+	if math.IsNaN(fair.Throughput) || fair.Throughput <= 0 {
+		t.Errorf("fair throughput %v", fair.Throughput)
+	}
+}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSingleJobRunStatsUnchanged pins the single-job scheduling sweep to
+// bit-exact golden values captured before the JobTracker became
+// multi-tenant (the job-queue + SchedPolicy refactor). A single submitted
+// job under the default FIFO arbitration must reproduce the historical
+// one-job-at-a-time scheduler exactly — any drift here means the refactor
+// changed single-job behavior.
+func TestSingleJobRunStatsUnchanged(t *testing.T) {
+	golden := []struct {
+		variant    string
+		rate       float64
+		makespan   uint64 // math.Float64bits
+		avgMapTime uint64
+		duplicated uint64
+		killedMaps float64
+		capped     bool
+	}{
+		{"Hadoop1Min", 0.1, 0x4068800116b9b003, 0x4045000c069c759f, 0x3ff5555555555555, 0.6666666666666666, false},
+		{"Hadoop1Min", 0.5, 0x407110004ff155eb, 0x4045000ae7d2370e, 0x401aaaaaaaaaaaab, 2, false},
+		{"MOON", 0.1, 0x4060a00242fa7329, 0x404500167ab02703, 0x403f000000000000, 24, false},
+		{"MOON", 0.5, 0x4072d3ec78c1fdf3, 0x4045001424bd3789, 0x4041d55555555555, 24, false},
+		{"MOON-Hybrid", 0.1, 0x4060a00140c06f4c, 0x40450009e100dfb5, 0x403f000000000000, 24, false},
+		{"MOON-Hybrid", 0.5, 0x4060a0014e5cdd50, 0x4045000b11bb6054, 0x403f000000000000, 24, false},
+	}
+
+	cfg := Config{Seeds: []uint64{1, 2, 3}, Scale: 16, Rates: []float64{0.1, 0.5}}
+	sw, err := cfg.RunSweep("golden", SchedulingVariants("sort")[2:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range golden {
+		st := sw.Get(g.variant, g.rate)
+		if got := math.Float64bits(st.Makespan); got != g.makespan {
+			t.Errorf("%s/%v makespan %v (bits %#x), want bits %#x",
+				g.variant, g.rate, st.Makespan, got, g.makespan)
+		}
+		if got := math.Float64bits(st.AvgMapTime); got != g.avgMapTime {
+			t.Errorf("%s/%v avg map time %v (bits %#x), want bits %#x",
+				g.variant, g.rate, st.AvgMapTime, got, g.avgMapTime)
+		}
+		if got := math.Float64bits(st.Duplicated); got != g.duplicated {
+			t.Errorf("%s/%v duplicated %v (bits %#x), want bits %#x",
+				g.variant, g.rate, st.Duplicated, got, g.duplicated)
+		}
+		if st.KilledMaps != g.killedMaps {
+			t.Errorf("%s/%v killed maps %v, want %v", g.variant, g.rate, st.KilledMaps, g.killedMaps)
+		}
+		if st.Capped != g.capped {
+			t.Errorf("%s/%v capped %v, want %v", g.variant, g.rate, st.Capped, g.capped)
+		}
+	}
+}

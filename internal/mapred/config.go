@@ -6,6 +6,14 @@
 // global speculative cap, two-phase homestretch replication, and
 // hybrid-aware placement on dedicated nodes).
 //
+// The JobTracker is multi-tenant: Submit enqueues jobs rather than
+// rejecting concurrent submissions, and a pluggable SchedPolicy (FIFO or
+// fair-share, see policy.go) arbitrates every free execution slot between
+// the running jobs. Per-job state — tasks, fetch-failure reporters, the
+// schedule sequence, commit polling — lives on the Job, so concurrent jobs
+// are fully independent and a single job under FIFO behaves exactly like
+// the historical one-job-at-a-time tracker.
+//
 // Tasks are resource models, not user code: a map is "read an input block,
 // compute for S seconds, write I bytes of intermediate data through the
 // DFS"; a reduce is "shuffle partitions from every map, compute, write
@@ -41,6 +49,11 @@ func (p Policy) String() string {
 // SchedConfig parameterizes the JobTracker.
 type SchedConfig struct {
 	Policy Policy
+
+	// JobPolicy arbitrates execution slots across concurrently running
+	// jobs; nil selects FIFO. It is orthogonal to Policy, which governs
+	// speculative execution *within* each job.
+	JobPolicy SchedPolicy
 	// Hybrid enables MOON's awareness of dedicated nodes: speculative
 	// and homestretch copies prefer dedicated slots, and tasks that
 	// already have an active dedicated copy get the lowest replication
@@ -67,9 +80,10 @@ type SchedConfig struct {
 	// the original (Hadoop default 1). Frozen tasks under MOON ignore it.
 	SpeculativeCap int
 
-	// SpecSlotFraction (MOON): cap on concurrent speculative instances
-	// of a job, as a fraction of currently available execution slots
-	// (paper: 20%).
+	// SpecSlotFraction (MOON): cap on concurrent speculative instances,
+	// as a fraction of currently available execution slots (paper: 20%).
+	// The budget is fleet-wide: concurrently running jobs share it in
+	// policy order instead of each claiming a full budget.
 	SpecSlotFraction float64
 
 	// HomestretchH and HomestretchR (MOON): the homestretch phase begins

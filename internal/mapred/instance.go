@@ -12,9 +12,10 @@ import (
 func (jt *JobTracker) launch(t *Task, tt *TaskTracker, speculative bool) *Instance {
 	t.attempts++
 	if t.attempts == 1 {
-		jt.scheduleSeq++
-		t.scheduledOrder = jt.scheduleSeq
+		t.job.scheduleSeq++
+		t.scheduledOrder = t.job.scheduleSeq
 	}
+	t.job.liveAttempts++
 	if speculative {
 		t.specLaunches++
 	}
@@ -187,11 +188,21 @@ func (jt *JobTracker) startWrite(in *Instance) {
 	in.writeOp = op
 }
 
+// detach removes a no-longer-running attempt from its tracker, its task's
+// live list, and the job's live-attempt count.
+func (jt *JobTracker) detach(in *Instance) {
+	in.tracker.remove(in)
+	in.task.pruneInstance(in)
+	in.task.job.liveAttempts--
+	if in.inactive {
+		in.task.job.inactiveAttempts--
+	}
+}
+
 // completeInstance records a successful attempt; the first wins the task.
 func (jt *JobTracker) completeInstance(in *Instance) {
 	in.phase = phaseDone
-	in.tracker.remove(in)
-	in.task.pruneInstance(in)
+	jt.detach(in)
 	t := in.task
 	j := t.job
 	now := jt.sim.Now()
@@ -212,8 +223,8 @@ func (jt *JobTracker) completeInstance(in *Instance) {
 		j.mapsCompleted++
 		j.mapTimeSum += now - in.startedAt
 		j.mapTimeCount++
-		jt.hadoopFetchReporters[t.Index] = nil
-		jt.notifyShuffles()
+		j.fetchReporters[t.Index] = nil
+		jt.notifyShuffles(j)
 	} else {
 		j.reducesCompleted++
 		j.reduceTimeSum += now - in.computeStartedAt
@@ -225,7 +236,7 @@ func (jt *JobTracker) completeInstance(in *Instance) {
 			jt.killInstance(other, "task completed elsewhere")
 		}
 	}
-	jt.maybeFinishJob()
+	jt.maybeFinishJob(j)
 }
 
 // killInstance terminates an attempt (tracker expiry, lost race, job end).
@@ -237,8 +248,7 @@ func (jt *JobTracker) killInstance(in *Instance, reason string) {
 	}
 	in.phase = phaseKilled
 	jt.teardown(in)
-	in.tracker.remove(in)
-	in.task.pruneInstance(in)
+	jt.detach(in)
 	jt.countKill(in.task)
 	_ = reason
 }
@@ -251,11 +261,10 @@ func (jt *JobTracker) failInstance(in *Instance, reason string) {
 	}
 	in.phase = phaseKilled
 	jt.teardown(in)
-	in.tracker.remove(in)
-	in.task.pruneInstance(in)
+	jt.detach(in)
 	jt.countKill(in.task)
 	if in.task.attempts >= jt.cfg.MaxTaskAttempts && !in.task.completed {
-		jt.failJob(fmt.Sprintf("task %s failed %d attempts (last: %s)",
+		jt.failJob(in.task.job, fmt.Sprintf("task %s failed %d attempts (last: %s)",
 			in.task.ID(), in.task.attempts, reason))
 	}
 }
@@ -291,9 +300,10 @@ func (jt *JobTracker) countKill(t *Task) {
 	}
 }
 
-// notifyShuffles pumps every running reduce attempt after a map completes.
-func (jt *JobTracker) notifyShuffles() {
-	for _, t := range jt.job.reduces {
+// notifyShuffles pumps the job's running reduce attempts after one of its
+// maps completes.
+func (jt *JobTracker) notifyShuffles(j *Job) {
+	for _, t := range j.reduces {
 		for _, in := range t.instances {
 			if in.running() && in.phase == phaseShuffle && in.shuffle != nil {
 				in.shuffle.pump()
@@ -307,8 +317,8 @@ func (jt *JobTracker) notifyShuffles() {
 // reportFetchFailure is called by a reducer's shuffle when a map output
 // fetch fails. attemptFails is that attempt's failure count for this map.
 func (jt *JobTracker) reportFetchFailure(in *Instance, mapIndex, attemptFails int) {
-	j := jt.job
-	if j == nil || j.Done() {
+	j := in.task.job
+	if j.Done() {
 		return
 	}
 	mt := j.maps[mapIndex]
@@ -331,17 +341,17 @@ func (jt *JobTracker) reportFetchFailure(in *Instance, mapIndex, attemptFails in
 	}
 	// Hadoop: re-execute once more than half the running reducers report
 	// failures for this map.
-	if jt.hadoopFetchReporters[mapIndex] == nil {
-		jt.hadoopFetchReporters[mapIndex] = make(map[int]bool)
+	if j.fetchReporters[mapIndex] == nil {
+		j.fetchReporters[mapIndex] = make(map[int]bool)
 	}
-	jt.hadoopFetchReporters[mapIndex][in.task.Index] = true
+	j.fetchReporters[mapIndex][in.task.Index] = true
 	running := 0
 	for _, t := range j.reduces {
 		if t.runningInstances() > 0 && !t.completed {
 			running++
 		}
 	}
-	if running > 0 && float64(len(jt.hadoopFetchReporters[mapIndex])) > jt.cfg.HadoopFetchFailureFraction*float64(running) {
+	if running > 0 && float64(len(j.fetchReporters[mapIndex])) > jt.cfg.HadoopFetchFailureFraction*float64(running) {
 		jt.invalidateMapOutput(mt)
 	}
 }
@@ -353,7 +363,7 @@ func (jt *JobTracker) invalidateMapOutput(mt *Task) {
 	if !mt.completed {
 		return
 	}
-	j := jt.job
+	j := mt.job
 	mt.completed = false
 	mt.invalidations++
 	j.mapsCompleted--
@@ -362,7 +372,7 @@ func (jt *JobTracker) invalidateMapOutput(mt *Task) {
 		jt.fs.Delete(mt.output)
 		mt.output = ""
 	}
-	jt.hadoopFetchReporters[mt.Index] = nil
+	j.fetchReporters[mt.Index] = nil
 	for _, rt := range j.reduces {
 		for _, in := range rt.instances {
 			if in.running() && in.shuffle != nil {
@@ -374,16 +384,15 @@ func (jt *JobTracker) invalidateMapOutput(mt *Task) {
 
 // --- job completion ----------------------------------------------------------
 
-func (jt *JobTracker) maybeFinishJob() {
-	j := jt.job
-	if j == nil || j.Done() || j.state == JobCommitting {
+func (jt *JobTracker) maybeFinishJob(j *Job) {
+	if j.Done() || j.state == JobCommitting {
 		return
 	}
 	if j.mapsCompleted < len(j.maps) || j.reducesCompleted < len(j.reduces) {
 		return
 	}
 	if jt.cfg.Policy == PolicyHadoop {
-		jt.succeedJob()
+		jt.succeedJob(j)
 		return
 	}
 	// MOON: convert output files to reliable and wait until every block
@@ -392,60 +401,57 @@ func (jt *JobTracker) maybeFinishJob() {
 	for _, t := range j.reduces {
 		if t.output != "" {
 			if err := jt.fs.Commit(t.output); err != nil {
-				jt.failJob(fmt.Sprintf("commit %s: %v", t.output, err))
+				jt.failJob(j, fmt.Sprintf("commit %s: %v", t.output, err))
 				return
 			}
 		}
 	}
-	jt.commitTicker = jt.sim.Ticker(jt.cfg.HeartbeatInterval, "jt.commitPoll", func() {
+	j.commitTicker = jt.sim.Ticker(jt.cfg.HeartbeatInterval, "jt.commitPoll", func() {
 		for _, t := range j.reduces {
 			if t.output != "" && !jt.fs.FileFullyReplicated(t.output) {
 				return
 			}
 		}
-		jt.commitTicker()
-		jt.commitTicker = nil
-		jt.succeedJob()
+		j.commitTicker()
+		j.commitTicker = nil
+		jt.succeedJob(j)
 	})
 }
 
-func (jt *JobTracker) succeedJob() {
-	j := jt.job
+func (jt *JobTracker) succeedJob(j *Job) {
 	j.state = JobSucceeded
 	j.finishedAt = jt.sim.Now()
-	jt.cleanupJob()
+	jt.cleanupJob(j)
 	if j.onDone != nil {
 		j.onDone(j)
 	}
 }
 
-func (jt *JobTracker) failJob(reason string) {
-	j := jt.job
+func (jt *JobTracker) failJob(j *Job, reason string) {
 	if j.Done() {
 		return
 	}
 	j.state = JobFailed
 	j.failReason = reason
 	j.finishedAt = jt.sim.Now()
-	jt.cleanupJob()
+	jt.cleanupJob(j)
 	if j.onDone != nil {
 		j.onDone(j)
 	}
 }
 
-// cleanupJob kills every still-running attempt.
-func (jt *JobTracker) cleanupJob() {
-	if jt.commitTicker != nil {
-		jt.commitTicker()
-		jt.commitTicker = nil
+// cleanupJob kills every still-running attempt of the job.
+func (jt *JobTracker) cleanupJob(j *Job) {
+	if j.commitTicker != nil {
+		j.commitTicker()
+		j.commitTicker = nil
 	}
-	for _, t := range append(append([]*Task(nil), jt.job.maps...), jt.job.reduces...) {
+	for _, t := range append(append([]*Task(nil), j.maps...), j.reduces...) {
 		for _, in := range append([]*Instance(nil), t.instances...) {
 			if in.running() {
 				in.phase = phaseKilled
 				jt.teardown(in)
-				in.tracker.remove(in)
-				t.pruneInstance(in)
+				jt.detach(in)
 			}
 		}
 	}

@@ -26,7 +26,8 @@ func (s JobState) String() string {
 	return fmt.Sprintf("JobState(%d)", int(s))
 }
 
-// Job is one submitted MapReduce job.
+// Job is one submitted MapReduce job. All per-job scheduler bookkeeping
+// lives here, so the JobTracker can run any number of jobs concurrently.
 type Job struct {
 	cfg JobConfig
 
@@ -37,6 +38,25 @@ type Job struct {
 	submittedAt float64
 	finishedAt  float64
 	failReason  string
+
+	// liveAttempts counts the job's currently running task instances and
+	// inactiveAttempts the subset stranded on suspended trackers (both
+	// maintained incrementally); fair-share ranks jobs by the active
+	// difference, so a churn-stalled job is not deprioritized for the
+	// backup copies that would unfreeze it.
+	liveAttempts     int
+	inactiveAttempts int
+
+	// scheduleSeq numbers first launches of the job's tasks, used by
+	// Hadoop's speculative selection.
+	scheduleSeq int
+
+	// fetchReporters tracks, per map index, the distinct reduce tasks
+	// reporting fetch failures (Hadoop's >50% rule).
+	fetchReporters []map[int]bool
+
+	// commitTicker polls output replication during the MOON commit phase.
+	commitTicker func()
 
 	mapsCompleted    int
 	reducesCompleted int
@@ -66,6 +86,13 @@ func (j *Job) Done() bool { return j.state == JobSucceeded || j.state == JobFail
 
 // FailReason describes why a failed job failed.
 func (j *Job) FailReason() string { return j.failReason }
+
+// SubmittedAt returns the simulation time the job was submitted.
+func (j *Job) SubmittedAt() float64 { return j.submittedAt }
+
+// FinishedAt returns the simulation time the job reached a terminal state
+// (zero while the job is still running).
+func (j *Job) FinishedAt() float64 { return j.finishedAt }
 
 // Profile is the per-job execution profile — the columns of the paper's
 // Table II plus the duplicated-task count of Figure 5 and the makespan of
@@ -116,6 +143,10 @@ func (j *Job) Profile() Profile {
 	}
 	return p
 }
+
+// activeAttempts counts running attempts not stranded on suspended
+// trackers — the fair-share ranking key.
+func (j *Job) activeAttempts() int { return j.liveAttempts - j.inactiveAttempts }
 
 // remainingTasks counts incomplete tasks of the job.
 func (j *Job) remainingTasks() int {

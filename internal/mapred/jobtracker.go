@@ -15,7 +15,13 @@ import (
 // heartbeats, detects suspended and dead trackers, drives speculative
 // execution under the configured policy, and reacts to fetch failures.
 //
-// Like the paper's evaluation, it runs one job at a time.
+// The tracker schedules a queue of concurrently running jobs: Submit
+// enqueues (it never rejects a job because another is running), and the
+// configured SchedPolicy — FIFO or fair-share — arbitrates every free slot
+// between the running jobs. All per-job bookkeeping (tasks, fetch-failure
+// reporters, schedule sequence, commit polling) lives on the Job, so jobs
+// are fully independent; with a single submitted job the tracker behaves
+// exactly like the paper's one-job-at-a-time evaluation harness.
 type JobTracker struct {
 	sim *sim.Simulation
 	cl  *cluster.Cluster
@@ -23,19 +29,23 @@ type JobTracker struct {
 	net *netmodel.Network
 	cfg SchedConfig
 
+	policy SchedPolicy
+
 	trackers []*TaskTracker
 	// hybridOrder lists trackers dedicated-first, precomputed once (the
 	// fleet is fixed) so the heartbeat's speculative pass never allocates.
 	hybridOrder []*TaskTracker
-	job         *Job
 
-	scheduleSeq int
+	// jobs holds every submitted job in submission order (terminal jobs
+	// included, so callers can read profiles after completion). Policies
+	// receive runnable jobs in this order, so "tie-break by submission
+	// order" falls out of sort stability.
+	jobs []*Job
 
-	// hadoopFetchReporters tracks, per map index, the distinct reduce
-	// tasks reporting fetch failures (Hadoop's >50% rule).
-	hadoopFetchReporters []map[int]bool
-
-	commitTicker func()
+	// Scratch buffers reused across slot offers so the heartbeat does not
+	// allocate per offer.
+	runnableScratch []*Job
+	orderScratch    []*Job
 }
 
 // NewJobTracker wires the runtime to the cluster, DFS and network.
@@ -43,7 +53,10 @@ func NewJobTracker(s *sim.Simulation, cl *cluster.Cluster, fs *dfs.FileSystem, n
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	jt := &JobTracker{sim: s, cl: cl, fs: fs, net: net, cfg: cfg}
+	jt := &JobTracker{sim: s, cl: cl, fs: fs, net: net, cfg: cfg, policy: cfg.JobPolicy}
+	if jt.policy == nil {
+		jt.policy = FIFO()
+	}
 	for _, n := range cl.Nodes {
 		tt := &TaskTracker{node: n, mapSlots: cfg.MapSlotsPerNode, reduceSlots: cfg.ReduceSlotsPerNode}
 		jt.trackers = append(jt.trackers, tt)
@@ -56,13 +69,20 @@ func NewJobTracker(s *sim.Simulation, cl *cluster.Cluster, fs *dfs.FileSystem, n
 	return jt, nil
 }
 
-// Submit starts a job; onDone fires when it succeeds or fails.
+// Submit validates and enqueues a job; it competes for slots immediately
+// and on every subsequent heartbeat. Concurrently running jobs share the
+// cluster under the tracker's SchedPolicy. onDone fires when the job
+// succeeds or fails.
 func (jt *JobTracker) Submit(cfg JobConfig, onDone func(*Job)) (*Job, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if jt.job != nil && !jt.job.Done() {
-		return nil, fmt.Errorf("mapred: a job is already running")
+	for _, other := range jt.jobs {
+		if !other.Done() && other.cfg.Name == cfg.Name {
+			// Attempt output files are named after the job, so two live
+			// jobs with one name would collide in the DFS.
+			return nil, fmt.Errorf("mapred: job %q is already running", cfg.Name)
+		}
 	}
 	if !jt.fs.Exists(cfg.InputFile) {
 		return nil, fmt.Errorf("mapred: input file %q not staged", cfg.InputFile)
@@ -74,14 +94,38 @@ func (jt *JobTracker) Submit(cfg JobConfig, onDone func(*Job)) (*Job, error) {
 	for i := 0; i < cfg.NumReduces; i++ {
 		j.reduces = append(j.reduces, &Task{Type: ReduceTask, Index: i, job: j})
 	}
-	jt.job = j
-	jt.hadoopFetchReporters = make([]map[int]bool, cfg.NumMaps)
+	j.fetchReporters = make([]map[int]bool, cfg.NumMaps)
+	jt.jobs = append(jt.jobs, j)
 	jt.tick() // assign immediately rather than waiting a heartbeat
 	return j, nil
 }
 
-// Job returns the current job (may be finished).
-func (jt *JobTracker) Job() *Job { return jt.job }
+// Job returns the most recently submitted job (may be finished), or nil
+// before the first submission.
+func (jt *JobTracker) Job() *Job {
+	if len(jt.jobs) == 0 {
+		return nil
+	}
+	return jt.jobs[len(jt.jobs)-1]
+}
+
+// Jobs returns every submitted job in submission order, terminal jobs
+// included (read-only view).
+func (jt *JobTracker) Jobs() []*Job { return jt.jobs }
+
+// RunningJobs counts jobs that have not reached a terminal state.
+func (jt *JobTracker) RunningJobs() int {
+	n := 0
+	for _, j := range jt.jobs {
+		if !j.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// Policy returns the active slot-arbitration policy.
+func (jt *JobTracker) Policy() SchedPolicy { return jt.policy }
 
 // --- tracker liveness -------------------------------------------------------
 
@@ -97,7 +141,10 @@ func (jt *JobTracker) trackerChanged(n *cluster.Node, available bool) {
 			tt.suspendEv = jt.sim.After(jt.cfg.SuspensionInterval, "jt.suspect", func() {
 				tt.suspected = true
 				for _, in := range tt.running {
-					in.inactive = true
+					if !in.inactive {
+						in.inactive = true
+						in.task.job.inactiveAttempts++
+					}
 				}
 			})
 		}
@@ -116,7 +163,10 @@ func (jt *JobTracker) trackerChanged(n *cluster.Node, available bool) {
 	tt.expired = false
 	tt.suspected = false
 	for _, in := range tt.running {
-		in.inactive = false
+		if in.inactive {
+			in.inactive = false
+			in.task.job.inactiveAttempts--
+		}
 		jt.resumeCompute(in)
 		if in.shuffle != nil && in.phase == phaseShuffle {
 			in.shuffle.pump()
@@ -137,17 +187,14 @@ func (jt *JobTracker) availableSlots() int {
 	return n
 }
 
-// speculativeActive counts running, *active* speculative attempts of the
+// speculativeActive counts running, *active* speculative attempts of one
 // job. Inactive copies (stranded on suspended trackers) do not consume the
 // speculative budget — otherwise frozen speculative copies would wedge the
 // cap and block exactly the backups that frozen-task handling exists to
 // issue.
-func (jt *JobTracker) speculativeActive() int {
-	if jt.job == nil {
-		return 0
-	}
+func (jt *JobTracker) speculativeActive(j *Job) int {
 	n := 0
-	for _, tasks := range [2][]*Task{jt.job.maps, jt.job.reduces} {
+	for _, tasks := range [2][]*Task{j.maps, j.reduces} {
 		for _, t := range tasks {
 			for _, in := range t.instances {
 				if in.running() && in.speculative && !in.inactive {
@@ -159,27 +206,56 @@ func (jt *JobTracker) speculativeActive() int {
 	return n
 }
 
+// speculativeActiveTotal sums active speculative attempts across every
+// live job: MOON's SpecSlotFraction budget bounds the *fleet's* backup
+// capacity, so concurrent jobs share it rather than multiplying it. With
+// one job this equals speculativeActive of that job.
+func (jt *JobTracker) speculativeActiveTotal() int {
+	n := 0
+	for _, j := range jt.jobs {
+		if !j.Done() {
+			n += jt.speculativeActive(j)
+		}
+	}
+	return n
+}
+
 // --- assignment --------------------------------------------------------------
 
+// jobOrder returns the schedulable jobs in the policy's slot-offer order.
+// It is recomputed on every offer: fair-share ranks by live attempts,
+// which change with each launch, and a job may fail or start committing
+// mid-tick.
+func (jt *JobTracker) jobOrder() []*Job {
+	jt.runnableScratch = jt.runnableScratch[:0]
+	for _, j := range jt.jobs {
+		if j.state == JobRunning {
+			jt.runnableScratch = append(jt.runnableScratch, j)
+		}
+	}
+	jt.orderScratch = jt.policy.Order(jt.orderScratch[:0], jt.runnableScratch)
+	return jt.orderScratch
+}
+
 // tick is the heartbeat: fill free slots with pending work, then with
-// speculative copies per policy, then check job completion progress.
+// speculative copies per policy, across every running job.
 func (jt *JobTracker) tick() {
-	j := jt.job
-	if j == nil || j.Done() || j.state == JobCommitting {
+	if len(jt.jobOrder()) == 0 {
 		return
 	}
 	// Pass 1: pending (never-running) tasks, volatile and dedicated
-	// trackers alike, in node order.
+	// trackers alike, in node order; each free slot is offered to the
+	// jobs in policy order.
 	for _, tt := range jt.trackers {
 		for tt.freeSlots(MapTask) > 0 {
-			t := jt.pickPendingMap(tt)
+			t := jt.pickPendingMapAny(tt)
 			if t == nil {
 				break
 			}
 			jt.launch(t, tt, false)
 		}
 		for tt.freeSlots(ReduceTask) > 0 {
-			t := jt.pickPendingReduce()
+			t := jt.pickPendingReduceAny()
 			if t == nil {
 				break
 			}
@@ -194,20 +270,57 @@ func (jt *JobTracker) tick() {
 	}
 	for _, tt := range order {
 		for tt.freeSlots(MapTask) > 0 {
-			t := jt.pickSpeculative(MapTask, tt)
+			t := jt.pickSpeculativeAny(MapTask, tt)
 			if t == nil {
 				break
 			}
 			jt.launch(t, tt, true)
 		}
 		for tt.freeSlots(ReduceTask) > 0 {
-			t := jt.pickSpeculative(ReduceTask, tt)
+			t := jt.pickSpeculativeAny(ReduceTask, tt)
 			if t == nil {
 				break
 			}
 			jt.launch(t, tt, true)
 		}
 	}
+}
+
+// pickPendingMapAny offers a free map slot to each job in policy order.
+func (jt *JobTracker) pickPendingMapAny(tt *TaskTracker) *Task {
+	for _, j := range jt.jobOrder() {
+		if t := jt.pickPendingMap(j, tt); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// pickPendingReduceAny offers a free reduce slot to each job in policy
+// order.
+func (jt *JobTracker) pickPendingReduceAny() *Task {
+	for _, j := range jt.jobOrder() {
+		if t := jt.pickPendingReduce(j); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// pickSpeculativeAny offers a speculative slot to each job in policy
+// order. The fleet-wide speculative count is computed once per offer (it
+// only changes when a launch ends the offer) rather than once per job.
+func (jt *JobTracker) pickSpeculativeAny(typ TaskType, tt *TaskTracker) *Task {
+	specActive := -1
+	if jt.cfg.Policy != PolicyHadoop {
+		specActive = jt.speculativeActiveTotal()
+	}
+	for _, j := range jt.jobOrder() {
+		if t := jt.pickSpeculative(j, typ, tt, specActive); t != nil {
+			return t
+		}
+	}
+	return nil
 }
 
 func (jt *JobTracker) dedicatedTrackers() []*TaskTracker {
@@ -230,11 +343,11 @@ func (jt *JobTracker) volatileTrackers() []*TaskTracker {
 	return out
 }
 
-// pickPendingMap returns the next never-running (or fully killed) map,
-// preferring input-local tasks for the requesting tracker.
-func (jt *JobTracker) pickPendingMap(tt *TaskTracker) *Task {
+// pickPendingMap returns the job's next never-running (or fully killed)
+// map, preferring input-local tasks for the requesting tracker.
+func (jt *JobTracker) pickPendingMap(j *Job, tt *TaskTracker) *Task {
 	var firstAny *Task
-	for _, t := range jt.job.maps {
+	for _, t := range j.maps {
 		if t.completed || t.runningInstances() > 0 {
 			continue
 		}
@@ -252,10 +365,9 @@ func (jt *JobTracker) isInputLocal(t *Task, n *cluster.Node) bool {
 	return jt.fs.HasReplicaOn(dfs.BlockID{File: t.job.cfg.InputFile, Index: t.Index}, n.ID)
 }
 
-// pickPendingReduce returns the next never-running reduce once the
+// pickPendingReduce returns the job's next never-running reduce once the
 // slowstart threshold of completed maps is met.
-func (jt *JobTracker) pickPendingReduce() *Task {
-	j := jt.job
+func (jt *JobTracker) pickPendingReduce(j *Job) *Task {
 	need := int(math.Ceil(jt.cfg.ReduceSlowstart * float64(j.cfg.NumMaps)))
 	if j.mapsCompleted < need {
 		return nil
@@ -268,26 +380,28 @@ func (jt *JobTracker) pickPendingReduce() *Task {
 	return nil
 }
 
-// pickSpeculative selects a task for a backup copy under the active policy.
-func (jt *JobTracker) pickSpeculative(typ TaskType, tt *TaskTracker) *Task {
+// pickSpeculative selects a task of the job for a backup copy under the
+// active policy. specActive is the precomputed fleet-wide active
+// speculative count (unused under Hadoop).
+func (jt *JobTracker) pickSpeculative(j *Job, typ TaskType, tt *TaskTracker, specActive int) *Task {
 	if jt.cfg.Policy == PolicyHadoop {
-		return jt.pickSpeculativeHadoop(typ, tt)
+		return jt.pickSpeculativeHadoop(j, typ, tt)
 	}
-	return jt.pickSpeculativeMOON(typ, tt)
+	return jt.pickSpeculativeMOON(j, typ, tt, specActive)
 }
 
 // tasksOf returns the job's task list of the given type.
-func (jt *JobTracker) tasksOf(typ TaskType) []*Task {
+func (jt *JobTracker) tasksOf(j *Job, typ TaskType) []*Task {
 	if typ == MapTask {
-		return jt.job.maps
+		return j.maps
 	}
-	return jt.job.reduces
+	return j.reduces
 }
 
-// avgProgress is the mean progress over all tasks of a type (completed
-// tasks count as 1) — Hadoop's straggler baseline.
-func (jt *JobTracker) avgProgress(typ TaskType) float64 {
-	tasks := jt.tasksOf(typ)
+// avgProgress is the mean progress over all of a job's tasks of a type
+// (completed tasks count as 1) — Hadoop's straggler baseline.
+func (jt *JobTracker) avgProgress(j *Job, typ TaskType) float64 {
+	tasks := jt.tasksOf(j, typ)
 	if len(tasks) == 0 {
 		return 0
 	}
@@ -320,17 +434,17 @@ func (jt *JobTracker) isStraggler(t *Task, avg float64) bool {
 
 // pickSpeculativeHadoop: stragglers in original scheduling order, one
 // backup copy per task, maps preferring local input.
-func (jt *JobTracker) pickSpeculativeHadoop(typ TaskType, tt *TaskTracker) *Task {
+func (jt *JobTracker) pickSpeculativeHadoop(j *Job, typ TaskType, tt *TaskTracker) *Task {
 	// Hadoop only speculates once every task of the type has been
 	// scheduled.
-	for _, t := range jt.tasksOf(typ) {
+	for _, t := range jt.tasksOf(j, typ) {
 		if !t.completed && t.attempts == 0 {
 			return nil
 		}
 	}
-	avg := jt.avgProgress(typ)
+	avg := jt.avgProgress(j, typ)
 	var candidates []*Task
-	for _, t := range jt.tasksOf(typ) {
+	for _, t := range jt.tasksOf(j, typ) {
 		if jt.isStraggler(t, avg) && t.runningInstances() < 1+jt.cfg.SpeculativeCap {
 			candidates = append(candidates, t)
 		}
@@ -353,11 +467,13 @@ func (jt *JobTracker) pickSpeculativeHadoop(typ TaskType, tt *TaskTracker) *Task
 
 // pickSpeculativeMOON: frozen tasks first (any number of copies), then slow
 // tasks (respecting the per-task cap), then homestretch replication — all
-// subject to the global cap of SpecSlotFraction × available slots. Under
+// subject to the global cap of SpecSlotFraction × available slots, which
+// is shared by every running job (concurrent jobs compete for the backup
+// budget in policy order rather than each claiming a full budget). Under
 // Hybrid, tasks that already have an active dedicated copy sort last and
 // skip the homestretch.
-func (jt *JobTracker) pickSpeculativeMOON(typ TaskType, tt *TaskTracker) *Task {
-	if float64(jt.speculativeActive()) >= jt.cfg.SpecSlotFraction*float64(jt.availableSlots()) {
+func (jt *JobTracker) pickSpeculativeMOON(j *Job, typ TaskType, tt *TaskTracker, specActive int) *Task {
+	if float64(specActive) >= jt.cfg.SpecSlotFraction*float64(jt.availableSlots()) {
 		return nil
 	}
 	now := jt.sim.Now()
@@ -392,7 +508,7 @@ func (jt *JobTracker) pickSpeculativeMOON(typ TaskType, tt *TaskTracker) *Task {
 	// 1) Frozen tasks: every copy inactive; replicate regardless of copy
 	// count so progress can always be made.
 	var frozen []*Task
-	for _, t := range jt.tasksOf(typ) {
+	for _, t := range jt.tasksOf(j, typ) {
 		if t.frozen() && !runningOnTT(t) {
 			frozen = append(frozen, t)
 		}
@@ -402,9 +518,9 @@ func (jt *JobTracker) pickSpeculativeMOON(typ TaskType, tt *TaskTracker) *Task {
 	}
 
 	// 2) Slow tasks: Hadoop's criteria with the per-task cap.
-	avg := jt.avgProgress(typ)
+	avg := jt.avgProgress(j, typ)
 	var slow []*Task
-	for _, t := range jt.tasksOf(typ) {
+	for _, t := range jt.tasksOf(j, typ) {
 		if jt.isStraggler(t, avg) && !t.frozen() &&
 			t.runningInstances() < 1+jt.cfg.SpeculativeCap && !runningOnTT(t) {
 			slow = append(slow, t)
@@ -416,9 +532,9 @@ func (jt *JobTracker) pickSpeculativeMOON(typ TaskType, tt *TaskTracker) *Task {
 
 	// 3) Homestretch: near job completion, keep >= R active copies of
 	// every remaining task.
-	if float64(jt.job.remainingTasks()) < jt.cfg.HomestretchH/100*float64(jt.availableSlots()) {
+	if float64(j.remainingTasks()) < jt.cfg.HomestretchH/100*float64(jt.availableSlots()) {
 		var hs []*Task
-		for _, t := range jt.tasksOf(typ) {
+		for _, t := range jt.tasksOf(j, typ) {
 			if t.completed || t.runningInstances() == 0 || runningOnTT(t) {
 				continue
 			}

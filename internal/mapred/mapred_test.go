@@ -169,8 +169,19 @@ func TestSubmitValidation(t *testing.T) {
 	if _, err := r.jt.Submit(cfg, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.jt.Submit(cfg, nil); err == nil {
-		t.Fatal("second concurrent job accepted")
+	// A concurrent job with the same name would collide in the DFS
+	// (attempt outputs are named after the job) and is rejected.
+	if _, err := r.jt.Submit(cfg, nil); err == nil || !strings.Contains(err.Error(), "already running") {
+		t.Fatalf("duplicate-name concurrent job: %v", err)
+	}
+	// A distinct concurrent job enqueues and competes for slots.
+	cfg2 := smallJob("v2")
+	r.stage(t, cfg2, dfs.Factor{D: 1, V: 1})
+	if _, err := r.jt.Submit(cfg2, nil); err != nil {
+		t.Fatalf("concurrent submission rejected: %v", err)
+	}
+	if got := r.jt.RunningJobs(); got != 2 {
+		t.Fatalf("running jobs %d, want 2", got)
 	}
 	bad := cfg
 	bad.NumMaps = 0
@@ -226,7 +237,7 @@ func TestMOONSuspensionMarksInactiveWithoutKilling(t *testing.T) {
 	if inactive == 0 {
 		t.Fatal("no instance marked inactive")
 	}
-	if r.jt.job.killedMaps > 0 {
+	if r.jt.Job().killedMaps > 0 {
 		t.Fatal("suspension killed instances")
 	}
 	// After the node resumes, instances reactivate.
@@ -258,7 +269,7 @@ func TestFrozenTaskGetsSpeculativeCopy(t *testing.T) {
 	// The tasks stranded on node 0 must have been unfrozen by speculative
 	// copies: an inactive instance plus at least one active one.
 	var stranded []*Task
-	for _, mt := range r.jt.job.maps {
+	for _, mt := range r.jt.Job().maps {
 		for _, in := range mt.instances {
 			if in.tracker == r.jt.trackers[0] && in.inactive {
 				stranded = append(stranded, mt)
@@ -359,7 +370,7 @@ func TestHomestretchIssuesBackupCopies(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.s.RunUntil(100)
-	for _, mt := range r.jt.job.maps {
+	for _, mt := range r.jt.Job().maps {
 		if mt.completed {
 			continue
 		}
@@ -385,7 +396,7 @@ func TestHybridPrefersDedicatedForSpeculation(t *testing.T) {
 	// In homestretch from the start; with Hybrid, speculative copies go
 	// to dedicated trackers first.
 	spec := 0
-	for _, mt := range r.jt.job.maps {
+	for _, mt := range r.jt.Job().maps {
 		for _, in := range mt.instances {
 			if in.speculative && in.running() && in.node.IsDedicated() {
 				spec++
@@ -397,7 +408,7 @@ func TestHybridPrefersDedicatedForSpeculation(t *testing.T) {
 	}
 	// Tasks with an active dedicated copy must not receive further
 	// homestretch copies.
-	for _, mt := range r.jt.job.maps {
+	for _, mt := range r.jt.Job().maps {
 		if mt.hasActiveDedicatedCopy() && mt.activeInstances() > 2 {
 			t.Fatalf("dedicated-backed task %s over-replicated: %d copies", mt.ID(), mt.activeInstances())
 		}
@@ -420,7 +431,7 @@ func TestSpeculativeCapHadoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	probe := func() {
-		for _, mt := range r.jt.job.maps {
+		for _, mt := range r.jt.Job().maps {
 			if mt.runningInstances() > 1+sched.SpeculativeCap {
 				t.Errorf("map %s has %d running copies (cap %d)", mt.ID(),
 					mt.runningInstances(), 1+sched.SpeculativeCap)

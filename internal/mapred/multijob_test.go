@@ -1,0 +1,218 @@
+package mapred
+
+import (
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/trace"
+)
+
+// submitAt schedules a job submission at a simulation time and returns a
+// pointer that is filled once the submission happens.
+func (r *rig) submitAt(t *testing.T, at float64, cfg JobConfig) **Job {
+	t.Helper()
+	slot := new(*Job)
+	r.s.Schedule(at, "test.submit", func() {
+		j, err := r.jt.Submit(cfg, nil)
+		if err != nil {
+			t.Errorf("submit %s at t=%v: %v", cfg.Name, at, err)
+			return
+		}
+		*slot = j
+	})
+	return slot
+}
+
+// TestTwoOverlappingJobsCompleteUnderChurn: two jobs submitted 50 s apart
+// on a churning cluster must both finish under FIFO and under fair-share.
+func TestTwoOverlappingJobsCompleteUnderChurn(t *testing.T) {
+	outages := map[int][]trace.Interval{
+		0: {{Start: 30, End: 300}, {Start: 700, End: 1000}},
+		2: {{Start: 100, End: 450}},
+		4: {{Start: 10, End: 120}, {Start: 500, End: 900}},
+	}
+	for _, pol := range []SchedPolicy{FIFO(), FairShare()} {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			sched := DefaultSchedConfig(PolicyMOON)
+			sched.JobPolicy = pol
+			r := newRig(t, rigOpts{volatiles: 6, dedicated: 2, dfsMode: dfs.ModeMOON,
+				sched: sched, outages: outages})
+			cfgA, cfgB := smallJob("churn-a"), smallJob("churn-b")
+			cfgA.NumMaps, cfgB.NumMaps = 8, 8
+			r.stage(t, cfgA, dfs.Factor{D: 1, V: 2})
+			r.stage(t, cfgB, dfs.Factor{D: 1, V: 2})
+
+			ja, err := r.jt.Submit(cfgA, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jb := r.submitAt(t, 50, cfgB)
+			r.s.RunUntil(2e5)
+
+			if *jb == nil {
+				t.Fatal("second job never submitted")
+			}
+			for _, j := range []*Job{ja, *jb} {
+				if j.State() != JobSucceeded {
+					t.Fatalf("%s: job %s state %v: %s", pol.Name(), j.Config().Name, j.State(), j.FailReason())
+				}
+				if j.liveAttempts != 0 {
+					t.Fatalf("%s: job %s leaked %d live attempts", pol.Name(), j.Config().Name, j.liveAttempts)
+				}
+				if p := j.Profile(); p.Makespan <= 0 {
+					t.Fatalf("%s: job %s makespan %v", pol.Name(), j.Config().Name, p.Makespan)
+				}
+			}
+			if got := r.jt.RunningJobs(); got != 0 {
+				t.Fatalf("%d jobs still running after completion", got)
+			}
+		})
+	}
+}
+
+// saturatingJob is a map-heavy job spanning three full waves of the test
+// cluster's 12 map slots, so two concurrent copies contend for every slot.
+func saturatingJob(name string) JobConfig {
+	cfg := smallJob(name)
+	cfg.NumMaps = 36
+	cfg.NumReduces = 2
+	cfg.MapCPU = 10
+	cfg.SkipInputRead = true
+	return cfg
+}
+
+// runContendingPair runs two identical saturating jobs submitted together
+// under the given policy on a stable 6-node cluster and reports how many
+// maps job 2 had completed at the instant job 1 finished its map phase,
+// plus both finished jobs.
+func runContendingPair(t *testing.T, pol SchedPolicy) (j2MapsAtJ1MapsDone int, j1, j2 *Job) {
+	t.Helper()
+	sched := DefaultSchedConfig(PolicyMOON)
+	sched.JobPolicy = pol
+	r := newRig(t, rigOpts{volatiles: 5, dedicated: 1, dfsMode: dfs.ModeMOON, sched: sched})
+	cfgA, cfgB := saturatingJob("pair-a"), saturatingJob("pair-b")
+	r.stage(t, cfgA, dfs.Factor{D: 1, V: 2})
+	r.stage(t, cfgB, dfs.Factor{D: 1, V: 2})
+	ja, err := r.jt.Submit(cfgA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := r.jt.Submit(cfgB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	captured := false
+	stop := r.s.Ticker(1, "probe", func() {
+		if !captured && ja.MapsCompleted() == cfgA.NumMaps {
+			j2MapsAtJ1MapsDone = jb.MapsCompleted()
+			captured = true
+		}
+	})
+	r.s.RunUntil(1e5)
+	stop()
+	if ja.State() != JobSucceeded || jb.State() != JobSucceeded {
+		t.Fatalf("%s: jobs not both done: %v / %v", pol.Name(), ja.State(), jb.State())
+	}
+	if !captured {
+		t.Fatalf("%s: job 1 map phase never completed", pol.Name())
+	}
+	return j2MapsAtJ1MapsDone, ja, jb
+}
+
+// TestFairShareInterleavesFIFOSerializes: under FIFO the first job owns
+// the cluster until its maps run out, so the second job has made almost no
+// progress when job 1's map phase ends; under fair-share the two jobs
+// split the slots and advance together.
+func TestFairShareInterleavesFIFOSerializes(t *testing.T) {
+	fifoJ2, fifoJ1, fifoJ2Job := runContendingPair(t, FIFO())
+	fairJ2, fairJ1, fairJ2Job := runContendingPair(t, FairShare())
+
+	// FIFO: job 2 starved during job 1's map phase, and job 1 finishes
+	// well before job 2.
+	if fifoJ2 > 4 {
+		t.Errorf("FIFO: job 2 completed %d maps before job 1's map phase ended (want near-none)", fifoJ2)
+	}
+	if fifoJ1.FinishedAt() >= fifoJ2Job.FinishedAt() {
+		t.Errorf("FIFO: job 1 finished at %v, after job 2 at %v",
+			fifoJ1.FinishedAt(), fifoJ2Job.FinishedAt())
+	}
+
+	// Fair-share: job 2 advances alongside job 1...
+	if fairJ2 < 12 {
+		t.Errorf("fair-share: job 2 completed only %d maps before job 1's map phase ended (want interleaving)", fairJ2)
+	}
+	// ...which costs job 1 throughput relative to its FIFO run.
+	if fairJ1.Profile().Makespan <= fifoJ1.Profile().Makespan {
+		t.Errorf("fair-share job 1 makespan %v not above FIFO job 1 makespan %v",
+			fairJ1.Profile().Makespan, fifoJ1.Profile().Makespan)
+	}
+	_ = fairJ2Job
+}
+
+// TestMultiJobDeterminism: a two-job fair-share run under churn is
+// bit-reproducible.
+func TestMultiJobDeterminism(t *testing.T) {
+	run := func() (float64, float64) {
+		sched := DefaultSchedConfig(PolicyMOON)
+		sched.JobPolicy = FairShare()
+		r := newRig(t, rigOpts{volatiles: 4, dedicated: 1, dfsMode: dfs.ModeMOON, sched: sched,
+			outages: map[int][]trace.Interval{
+				0: {{Start: 30, End: 200}},
+				2: {{Start: 55, End: 400}},
+			}})
+		cfgA, cfgB := smallJob("det-a"), smallJob("det-b")
+		r.stage(t, cfgA, dfs.Factor{D: 1, V: 2})
+		r.stage(t, cfgB, dfs.Factor{D: 1, V: 2})
+		ja, err := r.jt.Submit(cfgA, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb := r.submitAt(t, 20, cfgB)
+		r.s.RunUntil(1e5)
+		if ja.State() != JobSucceeded || *jb == nil || (*jb).State() != JobSucceeded {
+			t.Fatal("jobs did not finish")
+		}
+		return ja.Profile().Makespan, (*jb).Profile().Makespan
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("non-deterministic multi-job run: (%v,%v) vs (%v,%v)", a1, b1, a2, b2)
+	}
+}
+
+// TestJobPolicyByName covers the flag-value parser.
+func TestJobPolicyByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"fifo": "fifo", "fair": "fair", "fairshare": "fair", "fair-share": "fair",
+	} {
+		p, err := JobPolicyByName(name)
+		if err != nil || p.Name() != want {
+			t.Fatalf("JobPolicyByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := JobPolicyByName("lottery"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestFairShareOrder: the policy ranks by live attempts with submission
+// order breaking ties, without touching the input slice.
+func TestFairShareOrder(t *testing.T) {
+	a := &Job{liveAttempts: 3}
+	b := &Job{liveAttempts: 1}
+	c := &Job{liveAttempts: 1}
+	running := []*Job{a, b, c}
+	got := FairShare().Order(nil, running)
+	if len(got) != 3 || got[0] != b || got[1] != c || got[2] != a {
+		t.Fatalf("fair-share order wrong: %v", got)
+	}
+	if running[0] != a || running[1] != b || running[2] != c {
+		t.Fatal("input slice mutated")
+	}
+	fifo := FIFO().Order(nil, running)
+	if fifo[0] != a || fifo[1] != b || fifo[2] != c {
+		t.Fatal("fifo order not submission order")
+	}
+}

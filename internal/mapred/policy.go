@@ -1,0 +1,74 @@
+package mapred
+
+import "fmt"
+
+// SchedPolicy arbitrates execution slots across concurrently running jobs.
+// On every free-slot offer the JobTracker asks the policy to order the
+// runnable jobs; the first job in the order with an eligible task wins the
+// slot. The order is recomputed per offer, so policies that rank by live
+// usage (fair-share) react to every launch within a heartbeat.
+//
+// Task selection *within* a job is unchanged by the policy: pending tasks
+// prefer input-local placement, speculative copies follow the configured
+// Hadoop/MOON rules, and under MOON-Hybrid the dedicated-first tracker
+// ordering is preserved per job.
+type SchedPolicy interface {
+	// Name is the policy's flag/label spelling ("fifo", "fair").
+	Name() string
+	// Order appends the jobs of running (given in submission order) to
+	// dst in slot-offer order and returns dst. Implementations must not
+	// retain either slice.
+	Order(dst, running []*Job) []*Job
+}
+
+// FIFO offers every free slot to the earliest-submitted running job first.
+// A later job only receives slots the earlier jobs cannot use (the policy
+// is work-conserving), so saturating jobs execute essentially serially in
+// submission order.
+func FIFO() SchedPolicy { return fifoPolicy{} }
+
+type fifoPolicy struct{}
+
+func (fifoPolicy) Name() string { return "fifo" }
+
+func (fifoPolicy) Order(dst, running []*Job) []*Job { return append(dst, running...) }
+
+// FairShare splits slots evenly between running jobs: every free slot is
+// offered to the job with the fewest *active* task attempts (attempts
+// stranded on suspended trackers don't count against a job, mirroring how
+// the MOON speculative budget ignores inactive copies), breaking ties by
+// submission order. Concurrent jobs therefore make interleaved progress
+// instead of queueing behind the first submission.
+func FairShare() SchedPolicy { return fairSharePolicy{} }
+
+type fairSharePolicy struct{}
+
+func (fairSharePolicy) Name() string { return "fair" }
+
+func (fairSharePolicy) Order(dst, running []*Job) []*Job {
+	dst = append(dst, running...)
+	// Insertion sort: the job count is small and the order barely changes
+	// between consecutive offers. Stability keeps submission order for
+	// ties, which keeps scheduling deterministic.
+	for i := 1; i < len(dst); i++ {
+		j := dst[i]
+		k := i - 1
+		for k >= 0 && dst[k].activeAttempts() > j.activeAttempts() {
+			dst[k+1] = dst[k]
+			k--
+		}
+		dst[k+1] = j
+	}
+	return dst
+}
+
+// JobPolicyByName resolves a policy flag value ("fifo" or "fair").
+func JobPolicyByName(name string) (SchedPolicy, error) {
+	switch name {
+	case "fifo":
+		return FIFO(), nil
+	case "fair", "fairshare", "fair-share":
+		return FairShare(), nil
+	}
+	return nil, fmt.Errorf("mapred: unknown job policy %q (want fifo or fair)", name)
+}

@@ -96,15 +96,15 @@ func TestHadoopStragglerSpeculation(t *testing.T) {
 	}
 	r.s.RunUntil(600)
 	spec := 0
-	for _, mt := range r.jt.job.maps {
+	for _, mt := range r.jt.Job().maps {
 		spec += mt.specLaunches
 	}
 	if spec == 0 {
 		t.Fatal("no speculative copy for stranded maps")
 	}
 	r.s.RunUntil(1e5)
-	if r.jt.job.State() != JobSucceeded {
-		t.Fatalf("job state %v", r.jt.job.State())
+	if r.jt.Job().State() != JobSucceeded {
+		t.Fatalf("job state %v", r.jt.Job().State())
 	}
 }
 
@@ -142,7 +142,7 @@ func TestReduceProgressThirds(t *testing.T) {
 	}
 	sawShuffle, sawCompute := false, false
 	stop := r.s.Ticker(1, "probe", func() {
-		for _, rt := range r.jt.job.reduces {
+		for _, rt := range r.jt.Job().reduces {
 			for _, in := range rt.instances {
 				if !in.running() {
 					continue
