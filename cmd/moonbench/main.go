@@ -6,36 +6,58 @@
 //	moonbench -experiment fig4 -app sort
 //	moonbench -experiment all -scale 4 -seeds 1,2,3
 //	moonbench -experiment multi -policy fair -jobs 4 -stagger 300
+//	moonbench -experiment multi -arrivals poisson -lambda 30 -policy both
+//	moonbench -experiment fig4 -app sort -metrics out.json
 //
-// Experiments: fig1, fig4, fig5, fig6, table2, fig7, multi, all.
+// Experiments: fig1, fig4, fig5, fig6, table2, fig7, multi, all (plus the
+// standalone ablation and correlated studies). -metrics writes a
+// schema-versioned cross-layer run report (JSON plus a .timeline.csv dump)
+// collected from every sweep the invocation runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 
 	"repro/internal/harness"
 	"repro/internal/mapred"
+	"repro/internal/metrics"
 )
+
+// experiments are the valid -experiment values; unknown values are an
+// error, not a silent fall-through to the default.
+var experiments = []string{
+	"fig1", "fig4", "fig5", "fig6", "table2", "fig7", "multi", "ablation", "correlated", "all",
+}
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig1|fig4|fig5|fig6|table2|fig7|multi|ablation|all")
+		experiment = flag.String("experiment", "all", strings.Join(experiments, "|"))
 		app        = flag.String("app", "both", "sort|wordcount|both")
 		seeds      = flag.String("seeds", "1", "comma-separated churn seeds to average over")
 		scale      = flag.Int("scale", 1, "divide workload size by this factor (1 = paper scale)")
 		rates      = flag.String("rates", "0.1,0.3,0.5", "comma-separated unavailability rates")
 		ablation   = flag.String("ablation", "homestretch", "homestretch|speccap|hibernate|adaptive")
 		parallel   = flag.Int("parallel", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
-		policy     = flag.String("policy", "both", "multi-job slot arbitration: fifo|fair|both")
+		policy     = flag.String("policy", "both", "multi-job slot arbitration: fifo|fair|weighted|both")
 		jobs       = flag.Int("jobs", 3, "multi-job experiment: jobs per run")
-		stagger    = flag.Float64("stagger", 60, "multi-job experiment: seconds between submissions")
+		stagger    = flag.Float64("stagger", 60, "multi-job staggered arrivals: seconds between submissions")
+		arrivals   = flag.String("arrivals", "staggered", "multi-job arrival process: staggered|poisson")
+		lambda     = flag.Float64("lambda", 30, "poisson arrivals: mean arrival rate, jobs per hour")
+		arrSeed    = flag.Uint64("arrival-seed", 1, "poisson arrivals: offset draw seed")
+		metricsOut = flag.String("metrics", "", "write a cross-layer metrics report to this JSON file (plus a .timeline.csv next to it)")
+		metricsBkt = flag.Float64("metrics-bucket", metrics.DefaultBucket, "metrics series bucket width, seconds")
 		verbose    = flag.Bool("v", false, "print one line per run")
 	)
 	flag.Parse()
+
+	if !slices.Contains(experiments, *experiment) {
+		fatal(fmt.Errorf("unknown experiment %q (want %s)", *experiment, strings.Join(experiments, "|")))
+	}
 
 	cfg := harness.DefaultConfig()
 	cfg.Scale = *scale
@@ -49,6 +71,45 @@ func main() {
 	}
 	if *verbose {
 		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	var report *metrics.Export
+	if *metricsOut != "" {
+		cfg.MetricsBucket = *metricsBkt
+		if cfg.MetricsBucket <= 0 {
+			// Clamp like metrics.New so a zero bucket can't silently
+			// disable collection while still writing an empty report.
+			cfg.MetricsBucket = metrics.DefaultBucket
+		}
+		report = metrics.NewExport("moonbench")
+	}
+	collect := func(sw interface {
+		AppendMetrics(*metrics.Export, int)
+	}) {
+		if report != nil {
+			sw.AppendMetrics(report, len(cfg.Seeds))
+		}
+	}
+
+	// Validate the policy flag up front: a typo must fail loudly even when
+	// the multi experiment is not selected this run.
+	var policies []mapred.SchedPolicy
+	if *policy != "both" {
+		pol, err := mapred.JobPolicyByName(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		policies = append(policies, pol)
+	}
+	arr := harness.ArrivalSpec{Process: *arrivals, Interval: *stagger, Seed: *arrSeed}
+	switch *arrivals {
+	case "staggered":
+	case "poisson":
+		if *lambda <= 0 {
+			fatal(fmt.Errorf("poisson arrivals need -lambda > 0 (got %v)", *lambda))
+		}
+		arr.Interval = 3600 / *lambda
+	default:
+		fatal(fmt.Errorf("unknown arrival process %q (want staggered or poisson)", *arrivals))
 	}
 
 	apps := []string{"sort", "wordcount"}
@@ -74,6 +135,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			collect(sw)
 			if run("fig4") {
 				must(sw.RenderTimes(os.Stdout))
 				fmt.Println()
@@ -88,6 +150,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			collect(sw)
 			if run("fig6") {
 				must(sw.RenderTimes(os.Stdout))
 				fmt.Println()
@@ -102,23 +165,18 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			collect(sw)
 			must(sw.RenderTimes(os.Stdout))
 			fmt.Println()
 		}
 		if run("multi") {
-			var policies []mapred.SchedPolicy
-			if *policy != "both" {
-				pol, err := mapred.JobPolicyByName(*policy)
-				if err != nil {
-					fatal(err)
-				}
-				policies = append(policies, pol)
-			}
-			title := fmt.Sprintf("Multi-job (%s): %d jobs staggered %.0fs", a, *jobs, *stagger)
-			sw, err := cfg.RunMultiSweep(title, harness.MultiVariants(a, *jobs, *stagger, policies...))
+			title := fmt.Sprintf("Multi-job (%s): %d jobs, %s arrivals every ~%.0fs",
+				a, *jobs, arr.Process, arr.Interval)
+			sw, err := cfg.RunMultiSweep(title, harness.MultiArrivalVariants(a, *jobs, arr, policies...))
 			if err != nil {
 				fatal(err)
 			}
+			collect(sw)
 			must(sw.Render(os.Stdout))
 			fmt.Println()
 		}
@@ -127,6 +185,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			collect(sw)
 			must(sw.RenderTimes(os.Stdout))
 			if *ablation == "homestretch" || *ablation == "speccap" {
 				must(sw.RenderDuplicates(os.Stdout))
@@ -138,10 +197,44 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			collect(sw)
 			must(sw.RenderTimes(os.Stdout))
 			fmt.Println()
 		}
 	}
+
+	if report != nil {
+		must(writeReport(report, *metricsOut))
+		fmt.Fprintf(os.Stderr, "moonbench: wrote %s and %s\n", *metricsOut, timelinePath(*metricsOut))
+	}
+}
+
+// timelinePath derives the CSV dump's path from the JSON report path.
+func timelinePath(jsonPath string) string {
+	return strings.TrimSuffix(jsonPath, ".json") + ".timeline.csv"
+}
+
+func writeReport(report *metrics.Export, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	cf, err := os.Create(timelinePath(path))
+	if err != nil {
+		return err
+	}
+	if err := report.WriteTimelineCSV(cf); err != nil {
+		cf.Close()
+		return err
+	}
+	return cf.Close()
 }
 
 func parseSeeds(s string) ([]uint64, error) {

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dfs"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -27,9 +28,11 @@ func main() {
 		dedicated = flag.Int("dedicated", 6, "dedicated node count")
 		allVol    = flag.Bool("all-volatile", false, "treat every machine as volatile (Hadoop baseline)")
 		seed      = flag.Uint64("seed", 1, "churn seed")
-		interD    = flag.Int("inter-d", 1, "intermediate dedicated replicas")
-		interV    = flag.Int("inter-v", 1, "intermediate volatile replicas")
-		scale     = flag.Int("scale", 1, "divide workload size by this factor")
+		interD     = flag.Int("inter-d", 1, "intermediate dedicated replicas")
+		interV     = flag.Int("inter-v", 1, "intermediate volatile replicas")
+		scale      = flag.Int("scale", 1, "divide workload size by this factor")
+		metricsOut = flag.String("metrics", "", "write this run's cross-layer metrics snapshot to this JSON file")
+		metricsBkt = flag.Float64("metrics-bucket", metrics.DefaultBucket, "metrics series bucket width, seconds")
 	)
 	flag.Parse()
 
@@ -69,6 +72,11 @@ func main() {
 	w = workload.Scale(w, *scale)
 	w.Job.IntermediateFactor = dfs.Factor{D: *interD, V: *interV}
 
+	var col *metrics.Collector
+	if *metricsOut != "" {
+		col = metrics.New(*metricsBkt)
+		opts.Metrics = col
+	}
 	s, err := core.NewForWorkload(opts, w)
 	if err != nil {
 		fatal(err)
@@ -76,6 +84,20 @@ func main() {
 	res, err := s.RunWorkload(w)
 	if err != nil {
 		fatal(err)
+	}
+	if col != nil {
+		report := metrics.NewExport("moonsim")
+		report.Add(fmt.Sprintf("moonsim %s", *app), *policy, *rate, 1, col.Snapshot())
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	p := res.Profile
 	fmt.Printf("job            %s (policy %s, rate %.2f, %dV+%dD, seed %d)\n",

@@ -12,6 +12,7 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -150,6 +151,45 @@ func NewAllVolatile(s *sim.Simulation, volatileTraces, extraTraces []trace.Trace
 	all = append(all, volatileTraces...)
 	all = append(all, extraTraces...)
 	return New(s, Config{VolatileTraces: all})
+}
+
+// Instrument registers churn observability on c: fleet shape gauges, a
+// sampled available-node and volatile-unavailability timeline, and
+// suspension/down-time counters (the realized availability, to compare
+// against the configured target rate). It registers one passive watcher per
+// node; watchers only read node state, so instrumented and uninstrumented
+// clusters evolve identically.
+func (c *Cluster) Instrument(mc *metrics.Collector) {
+	if mc == nil {
+		return
+	}
+	mc.Gauge(metrics.LayerCluster, "volatile_nodes", "").Set(float64(len(c.Volatile)))
+	mc.Gauge(metrics.LayerCluster, "dedicated_nodes", "").Set(float64(len(c.Dedicated)))
+	avail := mc.SampleSeries(metrics.LayerCluster, "available_nodes", "")
+	frac := mc.SampleSeries(metrics.LayerCluster, "volatile_unavail_frac", "")
+	susp := mc.TimedCounter(metrics.LayerCluster, "suspensions", "")
+	resumes := mc.TimedCounter(metrics.LayerCluster, "resumes", "")
+	downSec := mc.Counter(metrics.LayerCluster, "down_seconds", "")
+	spanGauge := mc.Gauge(metrics.LayerCluster, "down_span_seconds", "")
+	now := c.Sim.Now()
+	avail.Observe(now, float64(c.AvailableCount()))
+	frac.Observe(now, c.VolatileUnavailableFraction())
+	for _, n := range c.Nodes {
+		node := n
+		n.Watch(func(_ *Node, up bool) {
+			t := c.Sim.Now()
+			avail.Observe(t, float64(c.AvailableCount()))
+			frac.Observe(t, c.VolatileUnavailableFraction())
+			if !up {
+				susp.IncAt(t)
+				return
+			}
+			resumes.IncAt(t)
+			span := t - node.lastDownAt
+			downSec.Add(span)
+			spanGauge.Set(span)
+		})
+	}
 }
 
 // AvailableCount returns how many nodes are currently up.

@@ -20,6 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dfs"
 	"repro/internal/mapred"
+	"repro/internal/metrics"
 	"repro/internal/netmodel"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -72,6 +73,13 @@ type Options struct {
 	Net     netmodel.Config
 	DFS     dfs.Config
 	Sched   mapred.SchedConfig
+
+	// Metrics, when non-nil, receives cross-layer instrumentation from
+	// every subsystem (sim, cluster, net, dfs, mapred). Collection is
+	// strictly passive: a run with a collector is bit-identical to the
+	// same run without one, and a nil collector leaves every hot path
+	// allocation-free.
+	Metrics *metrics.Collector
 }
 
 // HadoopPreset configures stock Hadoop with the given TrackerExpiryInterval
@@ -126,6 +134,7 @@ func NewSimulation(opts Options) (*Simulation, error) {
 	}
 	r := rng.New(cs.Seed)
 	s := sim.New()
+	s.Instrument(opts.Metrics)
 
 	genFleet := func(n int) ([]trace.Trace, error) {
 		if cs.Correlated != nil {
@@ -148,15 +157,22 @@ func NewSimulation(opts Options) (*Simulation, error) {
 		cl = cluster.New(s, cluster.Config{VolatileTraces: volTraces, DedicatedNodes: cs.DedicatedNodes})
 	}
 
+	cl.Instrument(opts.Metrics)
+	// The target churn rate, for comparing realized availability against.
+	opts.Metrics.Gauge(metrics.LayerCluster, "unavail_rate_target", "").Set(cs.UnavailabilityRate)
+
 	net := netmodel.New(s, cl, opts.Net)
+	net.Instrument(opts.Metrics)
 	fsys, err := dfs.New(s, cl, net, opts.DFS)
 	if err != nil {
 		return nil, err
 	}
+	fsys.Instrument(opts.Metrics)
 	jt, err := mapred.NewJobTracker(s, cl, fsys, net, opts.Sched)
 	if err != nil {
 		return nil, err
 	}
+	jt.Instrument(opts.Metrics)
 	return &Simulation{Sim: s, Cluster: cl, Net: net, FS: fsys, JT: jt, opts: opts}, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/netmodel"
 	"repro/internal/sim"
 )
@@ -63,6 +64,54 @@ type FileSystem struct {
 	scanTargets []int
 
 	Metrics Metrics
+	inst    fsInstruments
+}
+
+// fsInstruments mirrors the Metrics counters onto the metrics bus (plus
+// read/write byte timelines the aggregate struct never tracked). All
+// handles are nil without a collector, and nil handles no-op.
+type fsInstruments struct {
+	repIssued     *metrics.Counter
+	repBytes      *metrics.Counter
+	thrash        *metrics.Counter
+	declines      *metrics.Counter
+	raises        *metrics.Counter
+	hibernations  *metrics.Counter
+	expirations   *metrics.Counter
+	reRegs        *metrics.Counter
+	trims         *metrics.Counter
+	writeRetries  *metrics.Counter
+	readStalls    *metrics.Counter
+	fetchFailures *metrics.Counter
+	writeBytes    *metrics.Counter
+	readBytes     *metrics.Counter
+}
+
+// Instrument registers DFS observability on c: replication traffic (bytes
+// and transfers, time-bucketed), placement retries, throttling declines and
+// adaptive-degree raises, hibernate/expire transitions, re-registrations,
+// trims, and the unreachable-read failure modes (stalls and no-replica
+// fetch failures), plus client read/write byte timelines.
+func (fs *FileSystem) Instrument(c *metrics.Collector) {
+	if c == nil {
+		return
+	}
+	fs.inst = fsInstruments{
+		repIssued:     c.TimedCounter(metrics.LayerDFS, "replications_issued", ""),
+		repBytes:      c.TimedCounter(metrics.LayerDFS, "replication_bytes", ""),
+		thrash:        c.Counter(metrics.LayerDFS, "thrash_replications", ""),
+		declines:      c.TimedCounter(metrics.LayerDFS, "dedicated_declines", ""),
+		raises:        c.Counter(metrics.LayerDFS, "adaptive_raises", ""),
+		hibernations:  c.TimedCounter(metrics.LayerDFS, "hibernations", ""),
+		expirations:   c.TimedCounter(metrics.LayerDFS, "expirations", ""),
+		reRegs:        c.Counter(metrics.LayerDFS, "re_registrations", ""),
+		trims:         c.Counter(metrics.LayerDFS, "trimmed_replicas", ""),
+		writeRetries:  c.TimedCounter(metrics.LayerDFS, "write_retries", ""),
+		readStalls:    c.TimedCounter(metrics.LayerDFS, "read_stalls", ""),
+		fetchFailures: c.TimedCounter(metrics.LayerDFS, "fetch_failures", ""),
+		writeBytes:    c.TimedCounter(metrics.LayerDFS, "write_bytes", ""),
+		readBytes:     c.TimedCounter(metrics.LayerDFS, "read_bytes", ""),
+	}
 }
 
 // New builds the file system over the cluster and network and starts the
@@ -130,6 +179,7 @@ func (fs *FileSystem) nodeChanged(n *cluster.Node, available bool) {
 				if v.state == DNLive {
 					v.state = DNHibernate
 					fs.Metrics.Hibernations++
+					fs.inst.hibernations.IncAt(fs.sim.Now())
 				}
 			})
 		}
@@ -157,6 +207,7 @@ func (fs *FileSystem) expire(v *dnView) {
 	v.state = DNDead
 	v.deadSince = fs.sim.Now()
 	fs.Metrics.Expirations++
+	fs.inst.expirations.IncAt(v.deadSince)
 	for _, name := range fs.fileOrder {
 		for _, b := range fs.files[name].Blocks {
 			removeInt(&b.replicas, v.node.ID)
@@ -172,6 +223,7 @@ func (fs *FileSystem) reRegister(v *dnView) {
 			if b.onDisk[id] && !containsInt(b.replicas, id) {
 				b.replicas = append(b.replicas, id)
 				fs.Metrics.ReRegistrations++
+				fs.inst.reRegs.Inc()
 			}
 		}
 	}
@@ -545,6 +597,7 @@ func (fs *FileSystem) trimDedicatedExcess(b *Block, n int) {
 		}
 		fs.dropReplica(b, id)
 		fs.Metrics.TrimmedReplicas++
+		fs.inst.trims.Inc()
 		n--
 	}
 }
@@ -563,6 +616,7 @@ func (fs *FileSystem) issueReplication(b *Block, targets []int) {
 	fs.pendingRep[b.ID]++
 	fs.repStreams++
 	fs.Metrics.ReplicationsIssued++
+	fs.inst.repIssued.IncAt(fs.sim.Now())
 	srcDown := !fs.dn[src].node.Available()
 	fs.net.Transfer(fs.dn[src].node, fs.dn[dst].node, b.Size, func(err error) {
 		fs.repStreams--
@@ -577,9 +631,11 @@ func (fs *FileSystem) issueReplication(b *Block, targets []int) {
 			return
 		}
 		fs.Metrics.ReplicationBytes += b.Size
+		fs.inst.repBytes.AddAt(fs.sim.Now(), b.Size)
 		if srcDown || fs.dn[src].state == DNDead {
 			// Replicated a block whose holder was only transiently away.
 			fs.Metrics.ThrashReplications++
+			fs.inst.thrash.Inc()
 		}
 		fs.registerReplica(b, dst)
 	})
@@ -595,6 +651,7 @@ func (fs *FileSystem) trimExcess(b *Block, n int, volatileOnly bool) {
 		}
 		fs.dropReplica(b, id)
 		fs.Metrics.TrimmedReplicas++
+		fs.inst.trims.Inc()
 		n--
 	}
 }

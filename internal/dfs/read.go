@@ -30,11 +30,16 @@ func (fs *FileSystem) ReadBlock(from *cluster.Node, id BlockID, bytes float64, e
 	src := fs.pickReadSource(from, b, exclude)
 	if src < 0 {
 		fs.Metrics.FetchFailures++
+		fs.inst.fetchFailures.IncAt(fs.sim.Now())
 		return nil, ErrNoReplica
 	}
 	flow := fs.net.Transfer(fs.dn[src].node, from, bytes, func(err error) {
 		if err == netmodel.ErrStalled {
 			fs.Metrics.ReadStalls++
+			fs.inst.readStalls.IncAt(fs.sim.Now())
+		}
+		if err == nil {
+			fs.inst.readBytes.AddAt(fs.sim.Now(), bytes)
 		}
 		done(src, err)
 	})

@@ -139,9 +139,11 @@ func (op *WriteOp) plan() []int {
 			id := fs.pickUnthrottledDedicated(avoid, targets)
 			if id < 0 {
 				fs.Metrics.DedicatedDeclines++
+				fs.inst.declines.IncAt(fs.sim.Now())
 				if av := fs.AdaptiveV(); av > needV {
 					needV = av
 					fs.Metrics.AdaptiveRaises++
+					fs.inst.raises.Inc()
 				}
 				break
 			}
@@ -193,6 +195,7 @@ func (op *WriteOp) writeStage() {
 			return
 		}
 		fs.registerReplica(b, dst.ID)
+		fs.inst.writeBytes.AddAt(fs.sim.Now(), b.Size)
 		// More replicas of this block, or next block.
 		if len(op.plan()) > 0 {
 			op.writeStage()
@@ -208,6 +211,7 @@ func (op *WriteOp) writeStage() {
 func (op *WriteOp) stageFailed(failedNode int) {
 	fs := op.fs
 	fs.Metrics.WriteRetries++
+	fs.inst.writeRetries.IncAt(fs.sim.Now())
 	op.attempts++
 	if op.attempts > fs.cfg.WriteRetries {
 		op.finish(ErrWriteFailed)

@@ -22,6 +22,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // MapFunc processes one input split, emitting intermediate key/value pairs.
@@ -61,6 +63,14 @@ type Config struct {
 	// replication). Without it, a suspended map worker makes its output
 	// unreachable and the map is re-executed.
 	ReplicateToDedicated bool
+
+	// Metrics, when non-nil, receives engine-layer instrumentation
+	// (attempt launches, backup copies, frozen-task detections, map
+	// re-executions, fetch failures) from the master loop. Series are
+	// bucketed by wall-clock seconds since Run started. The collector is
+	// only touched from the master goroutine, so concurrent Suspend/
+	// Resume callers never race on it; snapshot it after Run returns.
+	Metrics *metrics.Collector
 }
 
 // DefaultConfig returns a small hybrid pool with MOON-style replication.

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -357,5 +358,47 @@ func TestScaleDur(t *testing.T) {
 	}
 	if scaleDur(0, time.Second) != 0 {
 		t.Fatal("scaleDur zero")
+	}
+}
+
+// TestEngineMetricsCollection: a collector attached via Config.Metrics
+// records the run's attempt counters in agreement with Stats, and a nil
+// collector changes nothing.
+func TestEngineMetricsCollection(t *testing.T) {
+	cfg := DefaultConfig()
+	col := metrics.New(1)
+	cfg.Metrics = col
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	job, expect := wordCountJob(6, 40, 2)
+	got, stats := mustRun(t, c, job, 10*time.Second)
+	for k, v := range expect {
+		if got[k] != v {
+			t.Fatalf("key %q = %q, want %q", k, got[k], v)
+		}
+	}
+
+	snap := col.Snapshot()
+	find := func(name string) float64 {
+		for _, p := range snap.Counters {
+			if p.Layer == string(metrics.LayerEngine) && p.Name == name {
+				return p.Value
+			}
+		}
+		t.Fatalf("counter %s missing from snapshot", name)
+		return 0
+	}
+	if got, want := find("map_attempts"), float64(stats.MapAttempts); got != want {
+		t.Errorf("map_attempts counter %v, want %v (Stats)", got, want)
+	}
+	if got, want := find("reduce_attempts"), float64(stats.ReduceAttempts); got != want {
+		t.Errorf("reduce_attempts counter %v, want %v (Stats)", got, want)
+	}
+	if got, want := find("backup_copies"), float64(stats.BackupCopies); got != want {
+		t.Errorf("backup_copies counter %v, want %v (Stats)", got, want)
 	}
 }

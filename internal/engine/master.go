@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // masterEvent is anything a worker reports back.
@@ -57,7 +59,21 @@ type master struct {
 
 	results map[string]string
 	stats   Stats
+
+	// Instrument handles (nil without a collector); series buckets are
+	// wall-clock seconds since run start.
+	start         time.Time
+	mMapAttempts  *metrics.Counter
+	mRedAttempts  *metrics.Counter
+	mBackups      *metrics.Counter
+	mReexecs      *metrics.Counter
+	mFetchFails   *metrics.Counter
+	mFrozenChecks *metrics.Counter
 }
+
+// elapsed returns wall-clock seconds since the run started, the engine's
+// series time base.
+func (m *master) elapsed() float64 { return time.Since(m.start).Seconds() }
 
 func newMaster(c *Cluster, job Job) *master {
 	m := &master{
@@ -74,11 +90,20 @@ func newMaster(c *Cluster, job Job) *master {
 	for i := 0; i < job.Reduces; i++ {
 		m.reduces = append(m.reduces, &taskState{id: i, isReduce: true})
 	}
+	if mc := c.cfg.Metrics; mc != nil {
+		m.mMapAttempts = mc.TimedCounter(metrics.LayerEngine, "map_attempts", "")
+		m.mRedAttempts = mc.TimedCounter(metrics.LayerEngine, "reduce_attempts", "")
+		m.mBackups = mc.TimedCounter(metrics.LayerEngine, "backup_copies", "")
+		m.mReexecs = mc.TimedCounter(metrics.LayerEngine, "map_reexecs", "")
+		m.mFetchFails = mc.TimedCounter(metrics.LayerEngine, "fetch_failures", "")
+		m.mFrozenChecks = mc.Counter(metrics.LayerEngine, "frozen_tasks_detected", "")
+	}
 	return m
 }
 
 func (m *master) run(ctx context.Context) (map[string]string, Stats, error) {
 	now := time.Now()
+	m.start = now
 	for i, w := range m.c.workers {
 		m.lastBeat[i] = now
 		w.clearStore()
@@ -228,6 +253,8 @@ func (m *master) checkFrozen() {
 		}
 		target := idle[len(idle)-1] // dedicated sort last in idleWorkers
 		m.stats.BackupCopies++
+		m.mBackups.IncAt(m.elapsed())
+		m.mFrozenChecks.Inc()
 		if t.isReduce {
 			m.launchReduce(t, target)
 		} else {
@@ -242,6 +269,7 @@ func (m *master) launchMap(t *taskState, workerID int) {
 	t.nextAttempt++
 	t.outstanding = append(t.outstanding, attemptRef{attempt: attempt, worker: workerID})
 	m.stats.MapAttempts++
+	m.mMapAttempts.IncAt(m.elapsed())
 	input := m.job.Inputs[t.id]
 	job := m.job
 	cfg := m.c.cfg
@@ -288,6 +316,7 @@ func (m *master) launchReduce(t *taskState, workerID int) {
 	t.nextAttempt++
 	t.outstanding = append(t.outstanding, attemptRef{attempt: attempt, worker: workerID})
 	m.stats.ReduceAttempts++
+	m.mRedAttempts.IncAt(m.elapsed())
 
 	type source struct {
 		mapID, attempt int
@@ -385,6 +414,7 @@ func (m *master) handle(ev masterEvent) {
 		t := m.reduces[ev.taskID]
 		t.removeOutstanding(ev.attempt)
 		m.stats.FetchFailures += len(ev.missing)
+		m.mFetchFails.AddAt(m.elapsed(), float64(len(ev.missing)))
 		if t.done {
 			return
 		}
@@ -396,6 +426,7 @@ func (m *master) handle(ev masterEvent) {
 				mt.done = false
 				mt.holders = nil
 				m.stats.MapReexecs++
+				m.mReexecs.IncAt(m.elapsed())
 			}
 		}
 	}

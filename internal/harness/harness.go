@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mapred"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -39,6 +40,13 @@ type Config struct {
 	// serial (variant, rate, seed) order regardless of Parallelism. It may
 	// be invoked from worker goroutines, but never concurrently.
 	Progress func(string)
+	// MetricsBucket, when > 0, attaches a metrics.Collector with this
+	// series bucket width (seconds) to every run; the per-seed snapshots
+	// are merged into one seed-averaged report per (variant, rate) cell
+	// on Sweep.Metrics / MultiSweep.Metrics. Collection never perturbs a
+	// run: cell statistics are byte-identical with metrics on or off
+	// (pinned in regression_test.go).
+	MetricsBucket float64
 }
 
 // DefaultConfig mirrors the paper's sweep with a single seed.
@@ -111,17 +119,29 @@ func runOne(opts core.Options, w workload.Spec) (core.Result, error) {
 	return s.RunWorkload(w)
 }
 
+// seedOutcome is one sweep cell's result: the run statistics plus the
+// run's metrics snapshot (zero when collection is off).
+type seedOutcome struct {
+	stats RunStats
+	snap  metrics.Snapshot
+}
+
 // runSeed executes the simulation for one sweep cell, returning the cell's
 // stats and its formatted progress line ("" when Progress is nil). It is
 // safe to call from multiple goroutines: every simulation owns its clock,
-// rng, cluster and runtime, and shares nothing.
-func (c Config) runSeed(v Variant, rate float64, seed uint64) (RunStats, string, error) {
+// rng, cluster, runtime and metrics collector, and shares nothing.
+func (c Config) runSeed(v Variant, rate float64, seed uint64) (seedOutcome, string, error) {
 	cs := core.ClusterSpec{UnavailabilityRate: rate, Seed: seed}
 	opts, w := v.Build(cs)
 	w = workload.Scale(w, c.Scale)
+	var col *metrics.Collector
+	if c.MetricsBucket > 0 {
+		col = metrics.New(c.MetricsBucket)
+		opts.Metrics = col
+	}
 	res, err := runOne(opts, w)
 	if err != nil {
-		return RunStats{}, "", fmt.Errorf("%s rate=%.1f seed=%d: %w", v.Label, rate, seed, err)
+		return seedOutcome{}, "", fmt.Errorf("%s rate=%.1f seed=%d: %w", v.Label, rate, seed, err)
 	}
 	p := res.Profile
 	st := RunStats{
@@ -139,6 +159,7 @@ func (c Config) runSeed(v Variant, rate float64, seed uint64) (RunStats, string,
 	if res.HitHorizon || p.State != mapred.JobSucceeded {
 		st.Capped = true
 	}
+	out := seedOutcome{stats: st, snap: col.Snapshot()}
 	progress := ""
 	if c.Progress != nil {
 		progress = fmt.Sprintf("%-14s rate=%.1f seed=%d makespan=%.0fs dup=%d killedM=%d capped=%v "+
@@ -148,7 +169,7 @@ func (c Config) runSeed(v Variant, rate float64, seed uint64) (RunStats, string,
 			res.DFS.DedicatedDeclines, res.DFS.AdaptiveRaises, res.DFS.ReplicationBytes/1e9,
 			res.DFS.ReadStalls)
 	}
-	return st, progress, nil
+	return out, progress, nil
 }
 
 // mergeSeeds folds per-seed runs into the averaged cell statistics. The
@@ -224,6 +245,67 @@ type Sweep struct {
 	Variants []string
 	Rates    []float64
 	Cells    map[string]map[float64]RunStats
+	// Metrics holds one seed-averaged metrics snapshot per cell when the
+	// sweep ran with Config.MetricsBucket > 0 (nil otherwise).
+	Metrics map[string]map[float64]metrics.Snapshot
+}
+
+// AppendMetrics adds the sweep's collected cell reports to an Export, one
+// Experiment entry per (variant, rate) in sweep order. A sweep run without
+// metrics contributes nothing.
+func (sw *Sweep) AppendMetrics(e *metrics.Export, runs int) {
+	appendCellMetrics(e, sw.Title, sw.Variants, sw.Rates, sw.Metrics, runs)
+}
+
+// appendCellMetrics is the shared AppendMetrics body of Sweep and
+// MultiSweep: one Experiment entry per (variant, rate) cell, in sweep
+// order; a nil metrics map contributes nothing.
+func appendCellMetrics(e *metrics.Export, title string, variants []string, rates []float64,
+	cells map[string]map[float64]metrics.Snapshot, runs int) {
+	if cells == nil {
+		return
+	}
+	for _, v := range variants {
+		for _, rate := range rates {
+			e.Add(title, v, rate, runs, cells[v][rate])
+		}
+	}
+}
+
+// assembleCells folds per-seed sweep outcomes into per-cell aggregates in
+// serial (variant, rate, seed) order — the deterministic assembly shared
+// by RunSweep and RunMultiSweep, so statistics and metrics merging cannot
+// drift between the two sweep kinds. split extracts one outcome's stats
+// and snapshot; merge folds the seeds of one cell. The metrics map is nil
+// unless the sweep collected metrics.
+func assembleCells[S, O any](c Config, labels []string, results []O,
+	split func(O) (S, metrics.Snapshot), merge func([]S) S,
+) (map[string]map[float64]S, map[string]map[float64]metrics.Snapshot) {
+	cells := make(map[string]map[float64]S)
+	var mcells map[string]map[float64]metrics.Snapshot
+	if c.MetricsBucket > 0 {
+		mcells = make(map[string]map[float64]metrics.Snapshot)
+	}
+	stats := make([]S, len(c.Seeds))
+	snaps := make([]metrics.Snapshot, len(c.Seeds))
+	k := 0
+	for _, label := range labels {
+		cells[label] = make(map[float64]S)
+		if mcells != nil {
+			mcells[label] = make(map[float64]metrics.Snapshot)
+		}
+		for _, rate := range c.Rates {
+			for i, out := range results[k : k+len(c.Seeds)] {
+				stats[i], snaps[i] = split(out)
+			}
+			cells[label][rate] = merge(stats)
+			if mcells != nil {
+				mcells[label][rate] = metrics.Merge(snaps)
+			}
+			k += len(c.Seeds)
+		}
+	}
+	return cells, mcells
 }
 
 // fanOut runs n independent cells on a worker pool of c.workers(n)
@@ -325,7 +407,7 @@ func (c Config) RunSweep(title string, variants []Variant) (*Sweep, error) {
 		return sw, nil
 	}
 
-	results, err := fanOut(c, len(cells), func(i int) (RunStats, string, error) {
+	results, err := fanOut(c, len(cells), func(i int) (seedOutcome, string, error) {
 		cell := cells[i]
 		return c.runSeed(variants[cell.variant], cell.rate, cell.seed)
 	})
@@ -334,13 +416,8 @@ func (c Config) RunSweep(title string, variants []Variant) (*Sweep, error) {
 	}
 
 	// Deterministic assembly: fold seeds per cell in serial order.
-	k := 0
-	for _, v := range variants {
-		for _, rate := range c.Rates {
-			sw.Cells[v.Label][rate] = mergeSeeds(results[k : k+len(c.Seeds)])
-			k += len(c.Seeds)
-		}
-	}
+	sw.Cells, sw.Metrics = assembleCells(c, sw.Variants, results,
+		func(o seedOutcome) (RunStats, metrics.Snapshot) { return o.stats, o.snap }, mergeSeeds)
 	return sw, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mapred"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -39,24 +40,44 @@ type MultiSweep struct {
 	Variants []string
 	Rates    []float64
 	Cells    map[string]map[float64]MultiStats
+	// Metrics holds one seed-averaged metrics snapshot per cell when the
+	// sweep ran with Config.MetricsBucket > 0 (nil otherwise).
+	Metrics map[string]map[float64]metrics.Snapshot
 }
 
 // Get returns the stats for a variant/rate cell.
 func (sw *MultiSweep) Get(label string, rate float64) MultiStats { return sw.Cells[label][rate] }
 
+// AppendMetrics adds the sweep's collected cell reports to an Export, one
+// Experiment entry per (variant, rate) in sweep order.
+func (sw *MultiSweep) AppendMetrics(e *metrics.Export, runs int) {
+	appendCellMetrics(e, sw.Title, sw.Variants, sw.Rates, sw.Metrics, runs)
+}
+
+// multiOutcome is one multi-job cell's result plus its metrics snapshot.
+type multiOutcome struct {
+	stats MultiStats
+	snap  metrics.Snapshot
+}
+
 // runMultiSeed executes one multi-job sweep cell (shares nothing; safe for
 // the worker pool).
-func (c Config) runMultiSeed(v MultiVariant, rate float64, seed uint64) (MultiStats, string, error) {
+func (c Config) runMultiSeed(v MultiVariant, rate float64, seed uint64) (multiOutcome, string, error) {
 	cs := core.ClusterSpec{UnavailabilityRate: rate, Seed: seed}
 	opts, m := v.Build(cs)
 	m = workload.ScaleMulti(m, c.Scale)
+	var col *metrics.Collector
+	if c.MetricsBucket > 0 {
+		col = metrics.New(c.MetricsBucket)
+		opts.Metrics = col
+	}
 	s, err := core.NewForMultiWorkload(opts, m)
 	if err != nil {
-		return MultiStats{}, "", fmt.Errorf("%s rate=%.1f seed=%d: %w", v.Label, rate, seed, err)
+		return multiOutcome{}, "", fmt.Errorf("%s rate=%.1f seed=%d: %w", v.Label, rate, seed, err)
 	}
 	res, err := s.RunMultiWorkload(m)
 	if err != nil {
-		return MultiStats{}, "", fmt.Errorf("%s rate=%.1f seed=%d: %w", v.Label, rate, seed, err)
+		return multiOutcome{}, "", fmt.Errorf("%s rate=%.1f seed=%d: %w", v.Label, rate, seed, err)
 	}
 	st := MultiStats{
 		Span:       res.Span,
@@ -75,7 +96,7 @@ func (c Config) runMultiSeed(v MultiVariant, rate float64, seed uint64) (MultiSt
 		progress = fmt.Sprintf("%-14s rate=%.1f seed=%d span=%.0fs done=%d/%d tput=%.2f/h capped=%v",
 			v.Label, rate, seed, res.Span, res.Completed, len(res.Jobs), res.Throughput, st.Capped)
 	}
-	return st, progress, nil
+	return multiOutcome{stats: st, snap: col.Snapshot()}, progress, nil
 }
 
 // mergeMultiSeeds folds per-seed multi-job runs into the averaged cell, in
@@ -123,7 +144,7 @@ func (c Config) RunMultiSweep(title string, variants []MultiVariant) (*MultiSwee
 		return sw, nil
 	}
 
-	results, err := fanOut(c, len(cells), func(i int) (MultiStats, string, error) {
+	results, err := fanOut(c, len(cells), func(i int) (multiOutcome, string, error) {
 		cell := cells[i]
 		return c.runMultiSeed(variants[cell.variant], cell.rate, cell.seed)
 	})
@@ -131,13 +152,8 @@ func (c Config) RunMultiSweep(title string, variants []MultiVariant) (*MultiSwee
 		return nil, err
 	}
 
-	k := 0
-	for _, v := range variants {
-		for _, rate := range c.Rates {
-			sw.Cells[v.Label][rate] = mergeMultiSeeds(results[k : k+len(c.Seeds)])
-			k += len(c.Seeds)
-		}
-	}
+	sw.Cells, sw.Metrics = assembleCells(c, sw.Variants, results,
+		func(o multiOutcome) (MultiStats, metrics.Snapshot) { return o.stats, o.snap }, mergeMultiSeeds)
 	return sw, nil
 }
 
@@ -171,11 +187,40 @@ func (sw *MultiSweep) Render(w io.Writer) error {
 	return tw.Flush()
 }
 
+// ArrivalSpec selects the submission process of the multi-job experiment.
+type ArrivalSpec struct {
+	// Process is "staggered" (fixed gaps) or "poisson" (exponential
+	// inter-arrivals).
+	Process string
+	// Interval is the stagger gap or the mean inter-arrival time, seconds.
+	Interval float64
+	// Seed drives the Poisson offset draws (independent of churn seeds).
+	Seed uint64
+}
+
+// Stream derives the n-job workload for the arrival process.
+func (a ArrivalSpec) Stream(base workload.Spec, n int) workload.MultiSpec {
+	switch a.Process {
+	case "", "staggered":
+		return workload.Staggered(base, n, a.Interval)
+	case "poisson":
+		return workload.PoissonArrivals(base, n, a.Interval, a.Seed)
+	default:
+		panic(fmt.Sprintf("harness: unknown arrival process %q", a.Process))
+	}
+}
+
 // MultiVariants are the lines of the multi-job experiment: one identical
 // staggered stream of sleep jobs (scheduling-isolated, like Figures 4/5)
 // on the MOON-Hybrid stack, one line per arbitration policy. With no
 // policies given it compares FIFO against fair-share.
 func MultiVariants(app string, jobs int, stagger float64, policies ...mapred.SchedPolicy) []MultiVariant {
+	return MultiArrivalVariants(app, jobs, ArrivalSpec{Process: "staggered", Interval: stagger}, policies...)
+}
+
+// MultiArrivalVariants generalizes MultiVariants to any arrival process
+// (staggered gaps or a seeded Poisson stream).
+func MultiArrivalVariants(app string, jobs int, arr ArrivalSpec, policies ...mapred.SchedPolicy) []MultiVariant {
 	if len(policies) == 0 {
 		policies = []mapred.SchedPolicy{mapred.FIFO(), mapred.FairShare()}
 	}
@@ -187,7 +232,7 @@ func MultiVariants(app string, jobs int, stagger float64, policies ...mapred.Sch
 			Build: func(cs core.ClusterSpec) (core.Options, workload.MultiSpec) {
 				opts := core.MOONPreset(baseCluster(cs), true)
 				opts.Sched.JobPolicy = pol
-				return opts, workload.Staggered(workload.SleepApp(appSpec(app)), jobs, stagger)
+				return opts, arr.Stream(workload.SleepApp(appSpec(app)), jobs)
 			},
 		})
 	}

@@ -3,6 +3,8 @@ package harness
 import (
 	"math"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 // TestSingleJobRunStatsUnchanged pins the single-job scheduling sweep to
@@ -54,5 +56,92 @@ func TestSingleJobRunStatsUnchanged(t *testing.T) {
 		if st.Capped != g.capped {
 			t.Errorf("%s/%v capped %v, want %v", g.variant, g.rate, st.Capped, g.capped)
 		}
+	}
+}
+
+// sameBits compares two RunStats field-by-field at the bit level: metrics
+// collection must not shift a single ulp anywhere.
+func sameBits(t *testing.T, label string, a, b RunStats) {
+	t.Helper()
+	cmp := func(name string, x, y float64) {
+		if math.Float64bits(x) != math.Float64bits(y) {
+			t.Errorf("%s: %s differs with metrics on: %v (bits %#x) vs %v (bits %#x)",
+				label, name, x, math.Float64bits(x), y, math.Float64bits(y))
+		}
+	}
+	cmp("makespan", a.Makespan, b.Makespan)
+	cmp("avgMapTime", a.AvgMapTime, b.AvgMapTime)
+	cmp("avgShuffleTime", a.AvgShuffleTime, b.AvgShuffleTime)
+	cmp("avgReduceTime", a.AvgReduceTime, b.AvgReduceTime)
+	cmp("killedMaps", a.KilledMaps, b.KilledMaps)
+	cmp("killedReduces", a.KilledReduces, b.KilledReduces)
+	cmp("duplicated", a.Duplicated, b.Duplicated)
+	cmp("invalidations", a.Invalidations, b.Invalidations)
+	cmp("replicationBytes", a.ReplicationBytes, b.ReplicationBytes)
+	if a.Capped != b.Capped || a.Runs != b.Runs {
+		t.Errorf("%s: capped/runs differ with metrics on: %v/%d vs %v/%d",
+			label, a.Capped, a.Runs, b.Capped, b.Runs)
+	}
+}
+
+// TestMetricsCollectionDoesNotPerturbRuns pins the tentpole invariant of
+// the metrics subsystem: attaching a collector to every run of a sweep must
+// leave every cell's RunStats byte-identical to the uninstrumented sweep —
+// collection is observation, never interference. It also asserts the
+// collected reports actually carry non-zero series from the sim, cluster,
+// dfs and mapred layers, so the invariant is not vacuously met by an idle
+// collector.
+func TestMetricsCollectionDoesNotPerturbRuns(t *testing.T) {
+	variants := SchedulingVariants("sort")[3:5] // MOON, MOON-Hybrid
+	cfg := Config{Seeds: []uint64{1, 2}, Scale: 16, Rates: []float64{0.5}}
+	plain, err := cfg.RunSweep("plain", variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Metrics != nil {
+		t.Fatal("uninstrumented sweep grew a metrics report")
+	}
+
+	cfg.MetricsBucket = 600
+	inst, err := cfg.RunSweep("instrumented", variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range plain.Variants {
+		for _, rate := range plain.Rates {
+			sameBits(t, v, plain.Get(v, rate), inst.Get(v, rate))
+		}
+	}
+
+	if inst.Metrics == nil {
+		t.Fatal("instrumented sweep has no metrics report")
+	}
+	snap := inst.Metrics["MOON"][0.5]
+	nonZero := map[string]bool{}
+	for _, sd := range snap.Series {
+		for _, pt := range sd.Points {
+			if pt.Value != 0 {
+				nonZero[sd.Layer] = true
+				break
+			}
+		}
+	}
+	for _, layer := range []string{"sim", "cluster", "dfs", "mapred"} {
+		if !nonZero[layer] {
+			t.Errorf("no non-zero series collected from layer %q", layer)
+		}
+	}
+	if snap.Bucket != 600 {
+		t.Errorf("snapshot bucket %v, want 600", snap.Bucket)
+	}
+	// The merged cell must carry the per-job gauges too.
+	var sawMakespan bool
+	for _, g := range snap.Gauges {
+		if g.Layer == string(metrics.LayerMapred) && g.Name == "makespan_seconds" {
+			sawMakespan = g.Value > 0
+		}
+	}
+	if !sawMakespan {
+		t.Error("per-job makespan gauge missing from merged snapshot")
 	}
 }

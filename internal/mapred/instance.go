@@ -14,10 +14,16 @@ func (jt *JobTracker) launch(t *Task, tt *TaskTracker, speculative bool) *Instan
 	if t.attempts == 1 {
 		t.job.scheduleSeq++
 		t.scheduledOrder = t.job.scheduleSeq
+		if t.job.scheduleSeq == 1 {
+			// First launch of the whole job: the queue wait ends here.
+			t.job.mQueueWait.Set(jt.sim.Now() - t.job.submittedAt)
+		}
 	}
 	t.job.liveAttempts++
+	jt.inst.launches.IncAt(jt.sim.Now())
 	if speculative {
 		t.specLaunches++
+		jt.inst.specIssued.IncAt(jt.sim.Now())
 	}
 	in := &Instance{
 		task:        t,
@@ -214,7 +220,13 @@ func (jt *JobTracker) completeInstance(in *Instance) {
 			in.outputFile = ""
 		}
 		jt.countKill(t)
+		if in.speculative {
+			jt.inst.specWasted.Inc()
+		}
 		return
+	}
+	if in.speculative {
+		jt.inst.specWon.Inc()
 	}
 	t.completed = true
 	t.completedAt = now
@@ -250,6 +262,9 @@ func (jt *JobTracker) killInstance(in *Instance, reason string) {
 	jt.teardown(in)
 	jt.detach(in)
 	jt.countKill(in.task)
+	if in.speculative {
+		jt.inst.specWasted.Inc()
+	}
 	_ = reason
 }
 
@@ -263,6 +278,9 @@ func (jt *JobTracker) failInstance(in *Instance, reason string) {
 	jt.teardown(in)
 	jt.detach(in)
 	jt.countKill(in.task)
+	if in.speculative {
+		jt.inst.specWasted.Inc()
+	}
 	if in.task.attempts >= jt.cfg.MaxTaskAttempts && !in.task.completed {
 		jt.failJob(in.task.job, fmt.Sprintf("task %s failed %d attempts (last: %s)",
 			in.task.ID(), in.task.attempts, reason))
@@ -293,6 +311,7 @@ func (jt *JobTracker) teardown(in *Instance) {
 }
 
 func (jt *JobTracker) countKill(t *Task) {
+	jt.inst.kills.Inc()
 	if t.Type == MapTask {
 		t.job.killedMaps++
 	} else {
@@ -328,6 +347,7 @@ func (jt *JobTracker) reportFetchFailure(in *Instance, mapIndex, attemptFails in
 	if attemptFails < jt.cfg.FetchReportThreshold {
 		return // the reducer keeps retrying before notifying the master
 	}
+	jt.inst.fetchReports.IncAt(jt.sim.Now())
 	if jt.cfg.Policy == PolicyMOON || jt.cfg.FastFetchReaction {
 		// After MoonFetchFailureCount failures, ask the DFS whether any
 		// replica is actually alive; if not, re-execute immediately.
@@ -366,6 +386,7 @@ func (jt *JobTracker) invalidateMapOutput(mt *Task) {
 	j := mt.job
 	mt.completed = false
 	mt.invalidations++
+	jt.inst.invalidated.Inc()
 	j.mapsCompleted--
 	j.killedMaps++
 	if mt.output != "" {
@@ -421,6 +442,7 @@ func (jt *JobTracker) maybeFinishJob(j *Job) {
 func (jt *JobTracker) succeedJob(j *Job) {
 	j.state = JobSucceeded
 	j.finishedAt = jt.sim.Now()
+	j.mMakespan.Set(j.finishedAt - j.submittedAt)
 	jt.cleanupJob(j)
 	if j.onDone != nil {
 		j.onDone(j)
@@ -434,6 +456,7 @@ func (jt *JobTracker) failJob(j *Job, reason string) {
 	j.state = JobFailed
 	j.failReason = reason
 	j.finishedAt = jt.sim.Now()
+	j.mMakespan.Set(j.finishedAt - j.submittedAt)
 	jt.cleanupJob(j)
 	if j.onDone != nil {
 		j.onDone(j)

@@ -1,6 +1,10 @@
 package mapred
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
 
 // JobState tracks the lifecycle of a submitted job.
 type JobState int
@@ -71,6 +75,12 @@ type Job struct {
 
 	killedMaps    int // map attempts terminated without success + invalidated outputs
 	killedReduces int // reduce attempts terminated without success
+
+	// Per-job instruments, scoped by job name (nil without a collector):
+	// queue wait is submission → first task launch, makespan is set when
+	// the job reaches a terminal state.
+	mQueueWait *metrics.Gauge
+	mMakespan  *metrics.Gauge
 
 	onDone func(*Job)
 }

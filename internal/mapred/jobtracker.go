@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dfs"
+	"repro/internal/metrics"
 	"repro/internal/netmodel"
 	"repro/internal/sim"
 )
@@ -46,6 +47,50 @@ type JobTracker struct {
 	// allocate per offer.
 	runnableScratch []*Job
 	orderScratch    []*Job
+
+	collector *metrics.Collector
+	inst      jtInstruments
+}
+
+// jtInstruments are the scheduler's metric handles: slot occupancy per
+// heartbeat, launch/speculation timelines, and speculative-outcome
+// counters. Per-job instruments (queue wait, makespan) are created at
+// Submit, scoped by job name. Nil handles no-op.
+type jtInstruments struct {
+	slotOcc      *metrics.Series
+	runningJobs  *metrics.Series
+	launches     *metrics.Counter
+	specIssued   *metrics.Counter
+	specWon      *metrics.Counter
+	specWasted   *metrics.Counter
+	kills        *metrics.Counter
+	invalidated  *metrics.Counter
+	fetchReports *metrics.Counter
+}
+
+// Instrument registers MapReduce-layer observability on c: a sampled
+// slot-occupancy series (fraction of live execution slots in use, observed
+// every heartbeat — the paper's slot-utilization-under-churn view), running
+// job counts, task-launch and speculative timelines, speculative outcomes
+// (won vs wasted), kills, map-output invalidations and fetch-failure
+// reports, plus per-job queue-wait and makespan gauges. Collection is
+// passive: scheduling decisions never read an instrument.
+func (jt *JobTracker) Instrument(c *metrics.Collector) {
+	if c == nil {
+		return
+	}
+	jt.collector = c
+	jt.inst = jtInstruments{
+		slotOcc:      c.SampleSeries(metrics.LayerMapred, "slot_occupancy", ""),
+		runningJobs:  c.SampleSeries(metrics.LayerMapred, "running_jobs", ""),
+		launches:     c.TimedCounter(metrics.LayerMapred, "task_launches", ""),
+		specIssued:   c.TimedCounter(metrics.LayerMapred, "speculative_issued", ""),
+		specWon:      c.Counter(metrics.LayerMapred, "speculative_won", ""),
+		specWasted:   c.Counter(metrics.LayerMapred, "speculative_wasted", ""),
+		kills:        c.Counter(metrics.LayerMapred, "attempts_killed", ""),
+		invalidated:  c.Counter(metrics.LayerMapred, "map_output_invalidations", ""),
+		fetchReports: c.TimedCounter(metrics.LayerMapred, "fetch_failure_reports", ""),
+	}
 }
 
 // NewJobTracker wires the runtime to the cluster, DFS and network.
@@ -88,6 +133,10 @@ func (jt *JobTracker) Submit(cfg JobConfig, onDone func(*Job)) (*Job, error) {
 		return nil, fmt.Errorf("mapred: input file %q not staged", cfg.InputFile)
 	}
 	j := &Job{cfg: cfg, submittedAt: jt.sim.Now(), onDone: onDone}
+	if jt.collector != nil {
+		j.mQueueWait = jt.collector.Gauge(metrics.LayerMapred, "queue_wait_seconds", cfg.Name)
+		j.mMakespan = jt.collector.Gauge(metrics.LayerMapred, "makespan_seconds", cfg.Name)
+	}
 	for i := 0; i < cfg.NumMaps; i++ {
 		j.maps = append(j.maps, &Task{Type: MapTask, Index: i, job: j})
 	}
@@ -240,6 +289,7 @@ func (jt *JobTracker) jobOrder() []*Job {
 // tick is the heartbeat: fill free slots with pending work, then with
 // speculative copies per policy, across every running job.
 func (jt *JobTracker) tick() {
+	jt.observeOccupancy()
 	if len(jt.jobOrder()) == 0 {
 		return
 	}
@@ -284,6 +334,28 @@ func (jt *JobTracker) tick() {
 			jt.launch(t, tt, true)
 		}
 	}
+}
+
+// observeOccupancy samples slot occupancy and the running-job count into
+// the metrics bus once per heartbeat. It is a pure read of tracker state,
+// skipped entirely when no collector is attached.
+func (jt *JobTracker) observeOccupancy() {
+	if jt.inst.slotOcc == nil {
+		return
+	}
+	total, used := 0, 0
+	for _, tt := range jt.trackers {
+		if !tt.node.Available() || tt.expired {
+			continue
+		}
+		total += tt.mapSlots + tt.reduceSlots
+		used += len(tt.running)
+	}
+	now := jt.sim.Now()
+	if total > 0 {
+		jt.inst.slotOcc.Observe(now, float64(used)/float64(total))
+	}
+	jt.inst.runningJobs.Observe(now, float64(jt.RunningJobs()))
 }
 
 // pickPendingMapAny offers a free map slot to each job in policy order.

@@ -182,10 +182,64 @@ func TestMultiJobDeterminism(t *testing.T) {
 	}
 }
 
+// TestWeightedFairProportionalSlots: with weights 3:1 the heavy job holds
+// most of the cluster, so the light job trails it — starved harder than
+// plain fair-share would starve it, but (unlike FIFO) never fully shut out
+// while the heavy job still has pending work.
+func TestWeightedFairProportionalSlots(t *testing.T) {
+	weighted, heavyJob, lightJob := runContendingPair(t,
+		WeightedFair(map[string]float64{"pair-a": 3, "pair-b": 1}))
+	fair, _, _ := runContendingPair(t, FairShare())
+
+	if weighted >= fair {
+		t.Errorf("weighted 3:1: light job completed %d maps before the heavy job's map phase ended; want fewer than fair-share's %d",
+			weighted, fair)
+	}
+	if weighted == 0 {
+		t.Error("weighted 3:1: light job completely starved (weighted fair must stay work-conserving)")
+	}
+	if heavyJob.State() != JobSucceeded || lightJob.State() != JobSucceeded {
+		t.Fatalf("jobs not both done: %v / %v", heavyJob.State(), lightJob.State())
+	}
+	if heavyJob.FinishedAt() >= lightJob.FinishedAt() {
+		t.Errorf("weighted 3:1: heavy job finished at %v, after the light job at %v",
+			heavyJob.FinishedAt(), lightJob.FinishedAt())
+	}
+}
+
+// TestWeightedFairOrder: ranking is active-attempts/weight, ties by
+// submission order; missing weights default to 1, so WeightedFair(nil)
+// orders exactly like FairShare.
+func TestWeightedFairOrder(t *testing.T) {
+	a := &Job{cfg: JobConfig{Name: "a"}, liveAttempts: 6}
+	b := &Job{cfg: JobConfig{Name: "b"}, liveAttempts: 3}
+	c := &Job{cfg: JobConfig{Name: "c"}, liveAttempts: 3}
+	running := []*Job{a, b, c}
+
+	// a runs 6 attempts at weight 3 (ratio 2), b and c run 3 at weight 1
+	// (ratio 3): a ranks first, then b before c by submission order.
+	got := WeightedFair(map[string]float64{"a": 3}).Order(nil, running)
+	if len(got) != 3 || got[0] != a || got[1] != b || got[2] != c {
+		t.Fatalf("weighted order wrong: %v", got)
+	}
+	if running[0] != a || running[1] != b || running[2] != c {
+		t.Fatal("input slice mutated")
+	}
+
+	uniform := WeightedFair(nil).Order(nil, running)
+	fair := FairShare().Order(nil, running)
+	for i := range fair {
+		if uniform[i] != fair[i] {
+			t.Fatalf("WeightedFair(nil) order %v, want fair-share order %v", uniform, fair)
+		}
+	}
+}
+
 // TestJobPolicyByName covers the flag-value parser.
 func TestJobPolicyByName(t *testing.T) {
 	for name, want := range map[string]string{
 		"fifo": "fifo", "fair": "fair", "fairshare": "fair", "fair-share": "fair",
+		"weighted": "weighted", "wfair": "weighted", "weighted-fair": "weighted",
 	} {
 		p, err := JobPolicyByName(name)
 		if err != nil || p.Name() != want {

@@ -62,13 +62,61 @@ func (fairSharePolicy) Order(dst, running []*Job) []*Job {
 	return dst
 }
 
-// JobPolicyByName resolves a policy flag value ("fifo" or "fair").
+// WeightedFair splits slots in proportion to per-job weights: every free
+// slot is offered to the running job with the smallest active-attempts to
+// weight ratio, so a weight-3 job holds three times the slots of a
+// weight-1 competitor at steady state. Ties break by submission order
+// (sort stability), and weights are looked up by job name — a job without
+// an entry (or with a non-positive weight) runs at weight 1, so
+// WeightedFair(nil) degenerates to plain fair-share. Like fair-share, the
+// ratio counts only *active* attempts, so a churn-stalled job is not
+// deprioritized for the backup copies that would unfreeze it.
+func WeightedFair(weights map[string]float64) SchedPolicy {
+	return &weightedFairPolicy{weights: weights}
+}
+
+type weightedFairPolicy struct {
+	weights map[string]float64
+}
+
+func (p *weightedFairPolicy) Name() string { return "weighted" }
+
+func (p *weightedFairPolicy) weight(j *Job) float64 {
+	if w, ok := p.weights[j.cfg.Name]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+func (p *weightedFairPolicy) Order(dst, running []*Job) []*Job {
+	dst = append(dst, running...)
+	// Stable insertion sort, like FairShare: small job counts, near-sorted
+	// input between consecutive offers, and stability gives the
+	// submission-order tie-break.
+	for i := 1; i < len(dst); i++ {
+		j := dst[i]
+		kj := float64(j.activeAttempts()) / p.weight(j)
+		k := i - 1
+		for k >= 0 && float64(dst[k].activeAttempts())/p.weight(dst[k]) > kj {
+			dst[k+1] = dst[k]
+			k--
+		}
+		dst[k+1] = j
+	}
+	return dst
+}
+
+// JobPolicyByName resolves a policy flag value ("fifo", "fair" or
+// "weighted"; flag-configured weighted fair runs with uniform weights —
+// per-job weights are a programmatic API).
 func JobPolicyByName(name string) (SchedPolicy, error) {
 	switch name {
 	case "fifo":
 		return FIFO(), nil
 	case "fair", "fairshare", "fair-share":
 		return FairShare(), nil
+	case "weighted", "wfair", "weighted-fair":
+		return WeightedFair(nil), nil
 	}
-	return nil, fmt.Errorf("mapred: unknown job policy %q (want fifo or fair)", name)
+	return nil, fmt.Errorf("mapred: unknown job policy %q (want fifo, fair or weighted)", name)
 }

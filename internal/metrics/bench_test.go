@@ -1,0 +1,50 @@
+package metrics
+
+import "testing"
+
+// BenchmarkNilCounterAdd is the disabled-metrics hot path: a nil handle
+// must cost a nil check and nothing else (0 allocs/op).
+func BenchmarkNilCounterAdd(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.AddAt(float64(i), 1)
+	}
+}
+
+// BenchmarkCounterAdd is the enabled hot path for untimed counters.
+func BenchmarkCounterAdd(b *testing.B) {
+	col := New(300)
+	c := col.Counter(LayerSim, "x", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkTimedCounterAdd measures the bucketed path at steady state: once
+// the bucket slice covers the observed time range, AddAt is allocation-free.
+func BenchmarkTimedCounterAdd(b *testing.B) {
+	col := New(300)
+	c := col.TimedCounter(LayerSim, "x", "")
+	c.AddAt(8*3600, 0) // pre-grow to the full horizon
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AddAt(float64(i%(8*3600)), 1)
+	}
+}
+
+// BenchmarkSampleSeriesObserve measures gauge-style sampling at steady
+// state.
+func BenchmarkSampleSeriesObserve(b *testing.B) {
+	col := New(300)
+	s := col.SampleSeries(LayerMapred, "occ", "")
+	s.Observe(8*3600, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(float64(i%(8*3600)), 0.5)
+	}
+}

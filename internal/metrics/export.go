@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Schema is the versioned identifier of the run-report JSON format. Bump
+// the suffix on breaking changes to the layout below.
+const Schema = "moon-metrics/v1"
+
+// CounterPoint is one counter's exported total.
+type CounterPoint struct {
+	Layer string  `json:"layer"`
+	Name  string  `json:"name"`
+	Scope string  `json:"scope,omitempty"`
+	Value float64 `json:"value"`
+}
+
+func (p CounterPoint) key() Key { return Key{Layer: Layer(p.Layer), Name: p.Name, Scope: p.Scope} }
+
+// GaugePoint is one gauge's exported state.
+type GaugePoint struct {
+	Layer string  `json:"layer"`
+	Name  string  `json:"name"`
+	Scope string  `json:"scope,omitempty"`
+	Value float64 `json:"value"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+func (p GaugePoint) key() Key { return Key{Layer: Layer(p.Layer), Name: p.Name, Scope: p.Scope} }
+
+// SeriesPoint is one non-empty series bucket. T is the bucket's start time
+// in simulated seconds; Value is the bucket sum (rate series) or mean
+// (sample series); Count is how many observations landed in the bucket
+// (summed across merged runs).
+type SeriesPoint struct {
+	T     float64 `json:"t"`
+	Value float64 `json:"value"`
+	Count int64   `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// SeriesData is one exported time series.
+type SeriesData struct {
+	Layer  string        `json:"layer"`
+	Name   string        `json:"name"`
+	Scope  string        `json:"scope,omitempty"`
+	Kind   string        `json:"kind"`
+	Bucket float64       `json:"bucket_seconds"`
+	Points []SeriesPoint `json:"points"`
+}
+
+func (s SeriesData) key() Key { return Key{Layer: Layer(s.Layer), Name: s.Name, Scope: s.Scope} }
+
+// Snapshot is one run's (or one merged cell's) full metric state.
+type Snapshot struct {
+	Bucket   float64        `json:"bucket_seconds"`
+	Counters []CounterPoint `json:"counters,omitempty"`
+	Gauges   []GaugePoint   `json:"gauges,omitempty"`
+	Series   []SeriesData   `json:"series,omitempty"`
+}
+
+// Empty reports whether the snapshot carries no instruments.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Series) == 0
+}
+
+// Merge folds repeated runs of one configuration (e.g. the seeds of a sweep
+// cell) into a seed-averaged snapshot: counter totals, gauge values and
+// series bucket values are averaged across the n runs (an instrument absent
+// from a run contributes 0), gauge/bucket min and max are the extremes over
+// all runs, and bucket counts are summed. Inputs are folded in slice order,
+// so the result is deterministic. Merging an empty slice yields the zero
+// Snapshot.
+func Merge(snaps []Snapshot) Snapshot {
+	if len(snaps) == 0 {
+		return Snapshot{}
+	}
+	if len(snaps) == 1 {
+		return snaps[0]
+	}
+	n := float64(len(snaps))
+	out := Snapshot{Bucket: snaps[0].Bucket}
+
+	counters := make(map[Key]*CounterPoint)
+	var cOrder []Key
+	for _, s := range snaps {
+		for _, p := range s.Counters {
+			k := p.key()
+			if cp := counters[k]; cp != nil {
+				cp.Value += p.Value
+			} else {
+				p := p
+				counters[k] = &p
+				cOrder = append(cOrder, k)
+			}
+		}
+	}
+	sort.Slice(cOrder, func(i, j int) bool { return cOrder[i].less(cOrder[j]) })
+	for _, k := range cOrder {
+		p := *counters[k]
+		p.Value /= n
+		out.Counters = append(out.Counters, p)
+	}
+
+	gauges := make(map[Key]*GaugePoint)
+	var gOrder []Key
+	for _, s := range snaps {
+		for _, p := range s.Gauges {
+			k := p.key()
+			if gp := gauges[k]; gp != nil {
+				gp.Value += p.Value
+				if p.Min < gp.Min {
+					gp.Min = p.Min
+				}
+				if p.Max > gp.Max {
+					gp.Max = p.Max
+				}
+			} else {
+				p := p
+				gauges[k] = &p
+				gOrder = append(gOrder, k)
+			}
+		}
+	}
+	sort.Slice(gOrder, func(i, j int) bool { return gOrder[i].less(gOrder[j]) })
+	for _, k := range gOrder {
+		p := *gauges[k]
+		p.Value /= n
+		out.Gauges = append(out.Gauges, p)
+	}
+
+	type seriesAcc struct {
+		data    SeriesData
+		buckets map[float64]*SeriesPoint
+		order   []float64
+	}
+	series := make(map[Key]*seriesAcc)
+	var sOrder []Key
+	for _, s := range snaps {
+		for _, sd := range s.Series {
+			k := sd.key()
+			acc := series[k]
+			if acc == nil {
+				acc = &seriesAcc{
+					data:    SeriesData{Layer: sd.Layer, Name: sd.Name, Scope: sd.Scope, Kind: sd.Kind, Bucket: sd.Bucket},
+					buckets: make(map[float64]*SeriesPoint),
+				}
+				series[k] = acc
+				sOrder = append(sOrder, k)
+			}
+			for _, pt := range sd.Points {
+				if bp := acc.buckets[pt.T]; bp != nil {
+					bp.Value += pt.Value
+					bp.Count += pt.Count
+					if pt.Min < bp.Min {
+						bp.Min = pt.Min
+					}
+					if pt.Max > bp.Max {
+						bp.Max = pt.Max
+					}
+				} else {
+					pt := pt
+					acc.buckets[pt.T] = &pt
+					acc.order = append(acc.order, pt.T)
+				}
+			}
+		}
+	}
+	sort.Slice(sOrder, func(i, j int) bool { return sOrder[i].less(sOrder[j]) })
+	for _, k := range sOrder {
+		acc := series[k]
+		sort.Float64s(acc.order)
+		for _, t := range acc.order {
+			pt := *acc.buckets[t]
+			pt.Value /= n
+			acc.data.Points = append(acc.data.Points, pt)
+		}
+		out.Series = append(out.Series, acc.data)
+	}
+	return out
+}
+
+// Experiment is one sweep cell's merged metrics inside an Export: the
+// experiment title, the variant line, the churn rate, how many runs (seeds)
+// were merged, and the snapshot itself.
+type Experiment struct {
+	Experiment string  `json:"experiment"`
+	Variant    string  `json:"variant"`
+	Rate       float64 `json:"rate"`
+	Runs       int     `json:"runs"`
+	Snapshot
+}
+
+// Export is the top-level run report written by `moonbench -metrics`: a
+// schema-versioned header plus one Experiment entry per swept cell.
+type Export struct {
+	Schema      string       `json:"schema"`
+	Tool        string       `json:"tool,omitempty"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// NewExport returns an empty report for the given tool name.
+func NewExport(tool string) *Export {
+	return &Export{Schema: Schema, Tool: tool}
+}
+
+// Add appends one merged cell to the report.
+func (e *Export) Add(experiment, variant string, rate float64, runs int, snap Snapshot) {
+	e.Experiments = append(e.Experiments, Experiment{
+		Experiment: experiment, Variant: variant, Rate: rate, Runs: runs, Snapshot: snap,
+	})
+}
+
+// WriteJSON writes the report as indented JSON.
+func (e *Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// WriteTimelineCSV writes every series point of every experiment as one CSV
+// row — the flat timeline dump plotting tools ingest directly.
+func (e *Export) WriteTimelineCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "experiment,variant,rate,layer,name,scope,kind,t,value,count"); err != nil {
+		return err
+	}
+	for _, exp := range e.Experiments {
+		for _, sd := range exp.Series {
+			for _, pt := range sd.Points {
+				if _, err := fmt.Fprintf(w, "%q,%q,%g,%s,%s,%s,%s,%g,%g,%d\n",
+					exp.Experiment, exp.Variant, exp.Rate,
+					sd.Layer, sd.Name, sd.Scope, sd.Kind, pt.T, pt.Value, pt.Count); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -101,6 +102,23 @@ type Network struct {
 	// TotalBytes counts every byte delivered by completed or partial
 	// flows, fleet-wide.
 	totalBytes float64
+
+	// Instrument handles (nil without a collector).
+	mFlows  *metrics.Counter
+	mBytes  *metrics.Counter
+	mStalls *metrics.Counter
+}
+
+// Instrument registers fabric observability on c: flows started, bytes
+// delivered (settled, so partial progress of failed flows counts, matching
+// TotalBytes) and stall failures, all time-bucketed.
+func (n *Network) Instrument(c *metrics.Collector) {
+	if c == nil {
+		return
+	}
+	n.mFlows = c.TimedCounter(metrics.LayerNet, "flows_started", "")
+	n.mBytes = c.TimedCounter(metrics.LayerNet, "bytes_delivered", "")
+	n.mStalls = c.TimedCounter(metrics.LayerNet, "flow_stalls", "")
 }
 
 // New attaches a network to the cluster and subscribes to availability
@@ -148,6 +166,7 @@ func (n *Network) Transfer(src, dst *cluster.Node, bytes float64, done func(erro
 	}
 	f := &Flow{Src: src, Dst: dst, id: n.nextID, remaining: bytes, done: done, lastUpdate: n.sim.Now()}
 	n.nextID++
+	n.mFlows.IncAt(f.lastUpdate)
 	if bytes == 0 {
 		f.finished = true
 		n.sim.After(0, "net.done0", func() { done(nil) })
@@ -187,6 +206,7 @@ func (n *Network) settle(f *Flow) {
 		}
 		f.remaining -= delta
 		n.totalBytes += delta
+		n.mBytes.AddAt(now, delta)
 		n.nodes[f.Src.ID].consumed += delta
 		if !f.local() {
 			n.nodes[f.Dst.ID].consumed += delta
@@ -297,6 +317,9 @@ func (n *Network) finish(f *Flow, err error) {
 	}
 	n.settle(f)
 	f.finished = true
+	if err == ErrStalled {
+		n.mStalls.IncAt(n.sim.Now())
+	}
 	n.sim.Cancel(f.completion)
 	n.sim.Cancel(f.stall)
 	f.completion, f.stall = sim.Event{}, sim.Event{}

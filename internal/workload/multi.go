@@ -1,6 +1,10 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
 
 // MultiJob is one entry of a multi-job workload: a job spec plus its
 // submission time relative to the run start.
@@ -127,6 +131,33 @@ func MixedSizes(base Spec, n int, interval float64, k int) MultiSpec {
 			s = small
 		}
 		m.Jobs = append(m.Jobs, MultiJob{Spec: rename(s, i), Offset: float64(i) * interval})
+	}
+	return m
+}
+
+// PoissonArrivals derives a multi-job workload of n copies of base whose
+// submissions follow a Poisson arrival process: the first job arrives at
+// t=0 (like Staggered, so the run starts busy) and each later job follows
+// the previous one after an exponential inter-arrival time with the given
+// mean (seconds) — the memoryless job stream a shared opportunistic
+// cluster actually sees, with the bursts and lulls a fixed stagger hides.
+//
+// The draw stream is seeded independently of the churn seed, so the same
+// (base, n, meanInterval, seed) always yields the same offsets — sweeping
+// churn seeds replays one fixed arrival schedule against many churn
+// realizations.
+func PoissonArrivals(base Spec, n int, meanInterval float64, seed uint64) MultiSpec {
+	if meanInterval <= 0 {
+		return Staggered(base, n, 0)
+	}
+	r := rng.New(seed)
+	m := MultiSpec{Name: fmt.Sprintf("%s-pois%d", base.Job.Name, n)}
+	t := 0.0
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			t += r.Exponential(meanInterval)
+		}
+		m.Jobs = append(m.Jobs, MultiJob{Spec: rename(base, i), Offset: t})
 	}
 	return m
 }

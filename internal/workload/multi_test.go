@@ -45,6 +45,44 @@ func TestMixedSizes(t *testing.T) {
 	}
 }
 
+func TestPoissonArrivalsDeterministic(t *testing.T) {
+	base := SleepApp(Sort(132))
+	a := PoissonArrivals(base, 5, 600, 7)
+	b := PoissonArrivals(base, 5, 600, 7)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Jobs) != 5 || a.Jobs[0].Offset != 0 {
+		t.Fatalf("jobs %d, first offset %v (want 5 jobs starting at 0)", len(a.Jobs), a.Jobs[0].Offset)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].Offset != b.Jobs[i].Offset {
+			t.Fatalf("same seed diverged at job %d: %v vs %v", i, a.Jobs[i].Offset, b.Jobs[i].Offset)
+		}
+		if i > 0 && a.Jobs[i].Offset <= a.Jobs[i-1].Offset {
+			t.Fatalf("offsets not increasing: job %d at %v after %v", i, a.Jobs[i].Offset, a.Jobs[i-1].Offset)
+		}
+	}
+	c := PoissonArrivals(base, 5, 600, 8)
+	same := true
+	for i := 1; i < len(a.Jobs); i++ {
+		if a.Jobs[i].Offset != c.Jobs[i].Offset {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct seeds produced identical arrival schedules")
+	}
+	// The draws must survive scaling (offsets preserved) like Staggered.
+	sc := ScaleMulti(a, 4)
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Jobs[3].Offset != a.Jobs[3].Offset {
+		t.Fatal("ScaleMulti changed poisson offsets")
+	}
+}
+
 func TestMultiSpecValidate(t *testing.T) {
 	base := SleepApp(WordCount())
 	good := Staggered(base, 2, 60)
