@@ -1,5 +1,6 @@
 // Command moonbench regenerates the tables and figures of the MOON paper
-// (HPDC 2010) on the simulated testbed.
+// (HPDC 2010) on the simulated testbed, and runs arbitrary declarative
+// scenarios (moon-scenario/v1 specs).
 //
 // Usage:
 //
@@ -8,205 +9,207 @@
 //	moonbench -experiment multi -policy fair -jobs 4 -stagger 300
 //	moonbench -experiment multi -arrivals poisson -lambda 30 -policy both
 //	moonbench -experiment fig4 -app sort -metrics out.json
+//	moonbench -scenario scenarios/poisson-mix.json
+//	moonbench -scenario correlated-sort -scale 16 -seeds 1
+//	moonbench -list             # valid flag values
+//	moonbench -list-scenarios   # built-in named scenarios
 //
-// Experiments: fig1, fig4, fig5, fig6, table2, fig7, multi, all (plus the
-// standalone ablation and correlated studies). -metrics writes a
-// schema-versioned cross-layer run report (JSON plus a .timeline.csv dump)
-// collected from every sweep the invocation runs.
+// Every invocation — flag-driven or file-driven — is internally a
+// scenario.Spec: flags assemble a spec, -scenario loads one, and both
+// compile through the same path, so a flag run is byte-identical to the
+// equivalent scenario file. With -scenario, the sweep-axis flags (-seeds,
+// -rates, -scale, -parallel, -metrics-bucket) override the spec when set
+// explicitly; the experiment-shaping flags (-experiment, -app, -policy,
+// ...) are rejected. -metrics writes a schema-versioned cross-layer run
+// report (JSON plus a .timeline.csv dump) stamped with the scenario name
+// and spec hash.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"slices"
 	"strconv"
 	"strings"
 
 	"repro/internal/harness"
 	"repro/internal/mapred"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 )
 
-// experiments are the valid -experiment values; unknown values are an
-// error, not a silent fall-through to the default.
-var experiments = []string{
-	"fig1", "fig4", "fig5", "fig6", "table2", "fig7", "multi", "ablation", "correlated", "all",
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "moonbench:", err)
+		os.Exit(1)
+	}
 }
 
-func main() {
+// run is the whole CLI: flags (or a scenario file) to spec, spec to plan,
+// plan to output. Factored from main so tests can pin the flag path and
+// the -scenario path byte-identical.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("moonbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		experiment = flag.String("experiment", "all", strings.Join(experiments, "|"))
-		app        = flag.String("app", "both", "sort|wordcount|both")
-		seeds      = flag.String("seeds", "1", "comma-separated churn seeds to average over")
-		scale      = flag.Int("scale", 1, "divide workload size by this factor (1 = paper scale)")
-		rates      = flag.String("rates", "0.1,0.3,0.5", "comma-separated unavailability rates")
-		ablation   = flag.String("ablation", "homestretch", "homestretch|speccap|hibernate|adaptive")
-		parallel   = flag.Int("parallel", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
-		policy     = flag.String("policy", "both", "multi-job slot arbitration: fifo|fair|weighted|both")
-		jobs       = flag.Int("jobs", 3, "multi-job experiment: jobs per run")
-		stagger    = flag.Float64("stagger", 60, "multi-job staggered arrivals: seconds between submissions")
-		arrivals   = flag.String("arrivals", "staggered", "multi-job arrival process: staggered|poisson")
-		lambda     = flag.Float64("lambda", 30, "poisson arrivals: mean arrival rate, jobs per hour")
-		arrSeed    = flag.Uint64("arrival-seed", 1, "poisson arrivals: offset draw seed")
-		metricsOut = flag.String("metrics", "", "write a cross-layer metrics report to this JSON file (plus a .timeline.csv next to it)")
-		metricsBkt = flag.Float64("metrics-bucket", metrics.DefaultBucket, "metrics series bucket width, seconds")
-		verbose    = flag.Bool("v", false, "print one line per run")
+		experiment = fs.String("experiment", "all", strings.Join(scenario.Experiments, "|"))
+		app        = fs.String("app", "both", "sort|wordcount|both")
+		seeds      = fs.String("seeds", "1", "comma-separated churn seeds to average over")
+		scale      = fs.Int("scale", 1, "divide workload size by this factor (1 = paper scale)")
+		rates      = fs.String("rates", "0.1,0.3,0.5", "comma-separated unavailability rates")
+		ablation   = fs.String("ablation", "homestretch", strings.Join(harness.AblationNames, "|"))
+		parallel   = fs.Int("parallel", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
+		policy     = fs.String("policy", "both", "multi-job slot arbitration: fifo|fair|weighted|both")
+		jobs       = fs.Int("jobs", 3, "multi-job experiment: jobs per run")
+		stagger    = fs.Float64("stagger", 60, "multi-job staggered arrivals: seconds between submissions")
+		arrivals   = fs.String("arrivals", "staggered", "multi-job arrival process: staggered|poisson")
+		lambda     = fs.Float64("lambda", 30, "poisson arrivals: mean arrival rate, jobs per hour")
+		arrSeed    = fs.Uint64("arrival-seed", 1, "poisson arrivals: offset draw seed")
+		scenFlag   = fs.String("scenario", "", "run a scenario spec (path to a .json file, or a built-in name)")
+		dumpScen   = fs.String("dump-scenario", "", "write the run's assembled scenario spec to this file ('-' for stdout) and exit without running")
+		listScen   = fs.Bool("list-scenarios", false, "print the built-in named scenarios and exit")
+		list       = fs.Bool("list", false, "print the valid experiments, apps, ablations, policies and arrival processes, then exit")
+		metricsOut = fs.String("metrics", "", "write a cross-layer metrics report to this JSON file (plus a .timeline.csv next to it)")
+		metricsBkt = fs.Float64("metrics-bucket", metrics.DefaultBucket, "metrics series bucket width, seconds")
+		verbose    = fs.Bool("v", false, "print one line per run")
 	)
-	flag.Parse()
-
-	if !slices.Contains(experiments, *experiment) {
-		fatal(fmt.Errorf("unknown experiment %q (want %s)", *experiment, strings.Join(experiments, "|")))
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
+	if *list {
+		return printLists(stdout)
+	}
+	if *listScen {
+		return scenario.List(stdout)
 	}
 
-	cfg := harness.DefaultConfig()
-	cfg.Scale = *scale
-	cfg.Parallelism = *parallel
-	var err error
-	if cfg.Seeds, err = parseSeeds(*seeds); err != nil {
-		fatal(err)
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var spec *scenario.Spec
+	if *scenFlag != "" {
+		for _, name := range []string{
+			"experiment", "app", "policy", "jobs", "stagger", "arrivals",
+			"lambda", "arrival-seed", "ablation",
+		} {
+			if explicit[name] {
+				return fmt.Errorf("-%s shapes the experiment and cannot be combined with -scenario (edit the spec instead)", name)
+			}
+		}
+		var err error
+		if spec, err = scenario.Load(*scenFlag); err != nil {
+			return err
+		}
+		// Sweep-axis flags override the loaded spec when set explicitly,
+		// so CI can smoke-run any scenario at a bounded scale.
+		if explicit["seeds"] {
+			if spec.Sweep.Seeds, err = parseSeeds(*seeds); err != nil {
+				return err
+			}
+		}
+		if explicit["rates"] {
+			if spec.Sweep.Rates, err = parseRates(*rates); err != nil {
+				return err
+			}
+		}
+		if explicit["scale"] {
+			spec.Sweep.Scale = *scale
+		}
+		if explicit["parallel"] {
+			spec.Sweep.Parallelism = *parallel
+		}
+		if explicit["metrics-bucket"] {
+			spec.Metrics.BucketSeconds = *metricsBkt
+		}
+	} else {
+		f := scenario.Flags{
+			Experiment:    *experiment,
+			App:           *app,
+			Scale:         *scale,
+			Parallel:      *parallel,
+			Ablation:      *ablation,
+			Policy:        *policy,
+			Jobs:          *jobs,
+			Stagger:       *stagger,
+			Arrivals:      *arrivals,
+			Lambda:        *lambda,
+			ArrivalSeed:   *arrSeed,
+			MetricsBucket: *metricsBkt,
+		}
+		var err error
+		if f.Seeds, err = parseSeeds(*seeds); err != nil {
+			return err
+		}
+		if f.Rates, err = parseRates(*rates); err != nil {
+			return err
+		}
+		if spec, err = scenario.FromFlags(f); err != nil {
+			return err
+		}
 	}
-	if cfg.Rates, err = parseRates(*rates); err != nil {
-		fatal(err)
+
+	if *dumpScen != "" {
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+		if *dumpScen == "-" {
+			return spec.WriteJSON(stdout)
+		}
+		f, err := os.Create(*dumpScen)
+		if err != nil {
+			return err
+		}
+		if err := spec.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	plan, err := scenario.Compile(spec)
+	if err != nil {
+		return err
 	}
 	if *verbose {
-		cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+		plan.Config.Progress = func(line string) { fmt.Fprintln(stderr, line) }
 	}
+
 	var report *metrics.Export
 	if *metricsOut != "" {
-		cfg.MetricsBucket = *metricsBkt
-		if cfg.MetricsBucket <= 0 {
-			// Clamp like metrics.New so a zero bucket can't silently
-			// disable collection while still writing an empty report.
-			cfg.MetricsBucket = metrics.DefaultBucket
-		}
 		report = metrics.NewExport("moonbench")
+		report.Scenario = spec.Name
+		report.SpecHash = spec.Hash()
 	}
-	collect := func(sw interface {
-		AppendMetrics(*metrics.Export, int)
-	}) {
-		if report != nil {
-			sw.AppendMetrics(report, len(cfg.Seeds))
-		}
+	if err := plan.Execute(stdout, report); err != nil {
+		return err
 	}
-
-	// Validate the policy flag up front: a typo must fail loudly even when
-	// the multi experiment is not selected this run.
-	var policies []mapred.SchedPolicy
-	if *policy != "both" {
-		pol, err := mapred.JobPolicyByName(*policy)
-		if err != nil {
-			fatal(err)
-		}
-		policies = append(policies, pol)
-	}
-	arr := harness.ArrivalSpec{Process: *arrivals, Interval: *stagger, Seed: *arrSeed}
-	switch *arrivals {
-	case "staggered":
-	case "poisson":
-		if *lambda <= 0 {
-			fatal(fmt.Errorf("poisson arrivals need -lambda > 0 (got %v)", *lambda))
-		}
-		arr.Interval = 3600 / *lambda
-	default:
-		fatal(fmt.Errorf("unknown arrival process %q (want staggered or poisson)", *arrivals))
-	}
-
-	apps := []string{"sort", "wordcount"}
-	switch *app {
-	case "both":
-	case "sort", "wordcount":
-		apps = []string{*app}
-	default:
-		fatal(fmt.Errorf("unknown app %q", *app))
-	}
-
-	run := func(name string) bool { return *experiment == name || *experiment == "all" }
-
-	if run("fig1") {
-		if err := harness.Fig1(os.Stdout, cfg.Seeds[0]); err != nil {
-			fatal(err)
-		}
-		fmt.Println()
-	}
-	for _, a := range apps {
-		if run("fig4") || run("fig5") {
-			sw, err := cfg.Fig4(a)
-			if err != nil {
-				fatal(err)
-			}
-			collect(sw)
-			if run("fig4") {
-				must(sw.RenderTimes(os.Stdout))
-				fmt.Println()
-			}
-			if run("fig5") {
-				must(sw.RenderDuplicates(os.Stdout))
-				fmt.Println()
-			}
-		}
-		if run("fig6") || run("table2") {
-			sw, err := cfg.Fig6(a)
-			if err != nil {
-				fatal(err)
-			}
-			collect(sw)
-			if run("fig6") {
-				must(sw.RenderTimes(os.Stdout))
-				fmt.Println()
-			}
-			if run("table2") {
-				must(harness.RenderTable2(os.Stdout, a, sw))
-				fmt.Println()
-			}
-		}
-		if run("fig7") {
-			sw, err := cfg.Fig7(a)
-			if err != nil {
-				fatal(err)
-			}
-			collect(sw)
-			must(sw.RenderTimes(os.Stdout))
-			fmt.Println()
-		}
-		if run("multi") {
-			title := fmt.Sprintf("Multi-job (%s): %d jobs, %s arrivals every ~%.0fs",
-				a, *jobs, arr.Process, arr.Interval)
-			sw, err := cfg.RunMultiSweep(title, harness.MultiArrivalVariants(a, *jobs, arr, policies...))
-			if err != nil {
-				fatal(err)
-			}
-			collect(sw)
-			must(sw.Render(os.Stdout))
-			fmt.Println()
-		}
-		if *experiment == "ablation" {
-			sw, err := cfg.RunAblation(*ablation, a)
-			if err != nil {
-				fatal(err)
-			}
-			collect(sw)
-			must(sw.RenderTimes(os.Stdout))
-			if *ablation == "homestretch" || *ablation == "speccap" {
-				must(sw.RenderDuplicates(os.Stdout))
-			}
-			fmt.Println()
-		}
-		if *experiment == "correlated" {
-			sw, err := cfg.RunCorrelated(a)
-			if err != nil {
-				fatal(err)
-			}
-			collect(sw)
-			must(sw.RenderTimes(os.Stdout))
-			fmt.Println()
-		}
-	}
-
 	if report != nil {
-		must(writeReport(report, *metricsOut))
-		fmt.Fprintf(os.Stderr, "moonbench: wrote %s and %s\n", *metricsOut, timelinePath(*metricsOut))
+		if err := writeReport(report, *metricsOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "moonbench: wrote %s and %s\n", *metricsOut, timelinePath(*metricsOut))
 	}
+	return nil
+}
+
+// printLists answers "what can I pass here": every enumerated flag value.
+func printLists(w io.Writer) error {
+	_, err := fmt.Fprintf(w, `moonbench flag values
+  -experiment  %s
+  -app         sort|wordcount|both
+  -ablation    %s
+  -policy      %s|both
+  -arrivals    %s
+`,
+		strings.Join(scenario.Experiments, "|"),
+		strings.Join(harness.AblationNames, "|"),
+		strings.Join(mapred.JobPolicyNames(), "|"),
+		strings.Join(scenario.ArrivalProcesses, "|"))
+	return err
 }
 
 // timelinePath derives the CSV dump's path from the JSON report path.
@@ -259,15 +262,4 @@ func parseRates(s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func must(err error) {
-	if err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "moonbench:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// runCLI invokes the full CLI and returns stdout.
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("moonbench %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	return out.String()
+}
+
+// TestScenarioFileMatchesFlagRun pins the tentpole acceptance criterion:
+// a `-scenario <file>` run must be byte-identical to the equivalent flag
+// invocation — stdout and the exported metrics report alike — because the
+// flag path internally constructs the very spec the file holds.
+func TestScenarioFileMatchesFlagRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	dir := t.TempDir()
+
+	cases := []struct {
+		name  string
+		flags []string
+	}{
+		{"fig4", []string{"-experiment", "fig4", "-app", "sort", "-scale", "32", "-seeds", "1,2", "-rates", "0.5"}},
+		{"multi", []string{"-experiment", "multi", "-app", "sort", "-policy", "fair",
+			"-jobs", "2", "-stagger", "30", "-scale", "32", "-seeds", "1", "-rates", "0.5"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			flagReport := filepath.Join(dir, tc.name+"-flags.json")
+			flagOut := runCLI(t, append(tc.flags, "-metrics", flagReport)...)
+
+			// Export the exact spec the flag run assembled internally,
+			// then run it as a file.
+			specPath := filepath.Join(dir, tc.name+".scenario.json")
+			runCLI(t, append(tc.flags, "-dump-scenario", specPath)...)
+			raw, err := os.ReadFile(specPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := scenario.Parse(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fileReport := filepath.Join(dir, tc.name+"-file.json")
+			fileOut := runCLI(t, "-scenario", specPath, "-metrics", fileReport)
+
+			if flagOut != fileOut {
+				t.Errorf("stdout differs between flag and -scenario runs:\n--- flags ---\n%s\n--- file ---\n%s", flagOut, fileOut)
+			}
+			a, err := os.ReadFile(flagReport)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(fileReport)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Error("metrics reports differ between flag and -scenario runs")
+			}
+			// The report is self-describing: scenario name + spec hash.
+			if !bytes.Contains(a, []byte(`"scenario": "`+spec.Name+`"`)) ||
+				!bytes.Contains(a, []byte(`"spec_hash": "`+spec.Hash()+`"`)) {
+				t.Error("metrics report is missing the scenario provenance stamp")
+			}
+		})
+	}
+}
+
+// TestListFlags pins that -list names every enumerated flag vocabulary
+// (PR 3 made unknown values hard errors; -list is how you discover the
+// valid ones).
+func TestListFlags(t *testing.T) {
+	out := runCLI(t, "-list")
+	for _, want := range []string{
+		"fig1", "fig4", "table2", "multi", "ablation", "correlated", "all",
+		"sort", "wordcount",
+		"homestretch", "speccap", "hibernate", "adaptive",
+		"fifo", "fair", "weighted",
+		"staggered", "poisson",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output is missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestListScenarios pins that every builtin appears in -list-scenarios.
+func TestListScenarios(t *testing.T) {
+	out := runCLI(t, "-list-scenarios")
+	for _, s := range scenario.Builtins() {
+		if !strings.Contains(out, s.Name) {
+			t.Errorf("-list-scenarios is missing %q:\n%s", s.Name, out)
+		}
+	}
+}
+
+// TestScenarioRejectsShapingFlags: -scenario owns the experiment shape;
+// combining it with -experiment and friends must fail loudly.
+func TestScenarioRejectsShapingFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{"-scenario", "poisson-mix", "-experiment", "fig4"}, &out, &errb)
+	if err == nil || !strings.Contains(err.Error(), "-experiment") {
+		t.Fatalf("want a -experiment/-scenario conflict error, got %v", err)
+	}
+}

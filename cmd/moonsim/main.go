@@ -5,72 +5,116 @@
 //
 //	moonsim -app sort -policy moon-hybrid -rate 0.5 -dedicated 6
 //	moonsim -app wordcount -policy hadoop -expiry 60 -rate 0.3 -all-volatile
+//	moonsim -scenario scenarios/correlated-sort.json -variant MOON-Hybrid -rate 0.5
+//	moonsim -list-scenarios
+//
+// With -scenario, moonsim runs one cell of a compiled scenario: the
+// variant selected by -variant (default: the first single-job line) at
+// the -rate/-seed cell, scaled by -scale — the drill-down view of a line
+// moonbench sweeps in aggregate.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dfs"
+	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		app       = flag.String("app", "sort", "sort|wordcount|sleep-sort|sleep-wordcount")
-		policy    = flag.String("policy", "moon-hybrid", "hadoop|moon|moon-hybrid")
-		expiry    = flag.Float64("expiry", 600, "Hadoop TrackerExpiryInterval (seconds)")
-		rate      = flag.Float64("rate", 0.3, "machine-unavailability rate")
-		volatiles = flag.Int("volatile", 60, "volatile node count")
-		dedicated = flag.Int("dedicated", 6, "dedicated node count")
-		allVol    = flag.Bool("all-volatile", false, "treat every machine as volatile (Hadoop baseline)")
-		seed      = flag.Uint64("seed", 1, "churn seed")
+		app        = flag.String("app", "sort", "sort|wordcount|sleep-sort|sleep-wordcount")
+		policy     = flag.String("policy", "moon-hybrid", "hadoop|moon|moon-hybrid")
+		expiry     = flag.Float64("expiry", 600, "Hadoop TrackerExpiryInterval (seconds)")
+		rate       = flag.Float64("rate", 0.3, "machine-unavailability rate")
+		volatiles  = flag.Int("volatile", 60, "volatile node count")
+		dedicated  = flag.Int("dedicated", 6, "dedicated node count")
+		allVol     = flag.Bool("all-volatile", false, "treat every machine as volatile (Hadoop baseline)")
+		seed       = flag.Uint64("seed", 1, "churn seed")
 		interD     = flag.Int("inter-d", 1, "intermediate dedicated replicas")
 		interV     = flag.Int("inter-v", 1, "intermediate volatile replicas")
 		scale      = flag.Int("scale", 1, "divide workload size by this factor")
+		scenFlag   = flag.String("scenario", "", "run one cell of a scenario spec (path to a .json file, or a built-in name)")
+		variant    = flag.String("variant", "", "with -scenario: the variant label to run (default: the first single-job line)")
+		listScen   = flag.Bool("list-scenarios", false, "print the built-in named scenarios and exit")
 		metricsOut = flag.String("metrics", "", "write this run's cross-layer metrics snapshot to this JSON file")
 		metricsBkt = flag.Float64("metrics-bucket", metrics.DefaultBucket, "metrics series bucket width, seconds")
 	)
 	flag.Parse()
 
-	cs := core.ClusterSpec{
-		VolatileNodes:      *volatiles,
-		DedicatedNodes:     *dedicated,
-		UnavailabilityRate: *rate,
-		TreatAllVolatile:   *allVol,
-		Seed:               *seed,
-	}
-	var opts core.Options
-	switch *policy {
-	case "hadoop":
-		opts = core.HadoopPreset(cs, *expiry)
-	case "moon":
-		opts = core.MOONPreset(cs, false)
-	case "moon-hybrid":
-		opts = core.MOONPreset(cs, true)
-	default:
-		fatal(fmt.Errorf("unknown policy %q", *policy))
+	if *listScen {
+		must(scenario.List(os.Stdout))
+		return
 	}
 
-	slots := (*volatiles + *dedicated) * 2
-	var w workload.Spec
-	switch *app {
-	case "sort":
-		w = workload.Sort(slots)
-	case "wordcount":
-		w = workload.WordCount()
-	case "sleep-sort":
-		w = workload.SleepApp(workload.Sort(slots))
-	case "sleep-wordcount":
-		w = workload.SleepApp(workload.WordCount())
-	default:
-		fatal(fmt.Errorf("unknown app %q", *app))
+	var (
+		opts  core.Options
+		w     workload.Spec
+		label = *policy
+		spec  *scenario.Spec
+	)
+	if *scenFlag != "" {
+		// The spec owns the stack and workload shape: reject the legacy
+		// shaping flags instead of silently ignoring them.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "app", "policy", "expiry", "volatile", "dedicated", "all-volatile", "inter-d", "inter-v":
+				fatal(fmt.Errorf("-%s shapes the run and cannot be combined with -scenario (pick a cell with -variant/-rate/-seed/-scale)", f.Name))
+			}
+		})
+		var err error
+		spec, err = scenario.Load(*scenFlag)
+		if err != nil {
+			fatal(err)
+		}
+		v, err := pickVariant(spec, *variant)
+		if err != nil {
+			fatal(err)
+		}
+		label = v.Label
+		opts, w = v.Build(core.ClusterSpec{UnavailabilityRate: *rate, Seed: *seed})
+	} else {
+		cs := core.ClusterSpec{
+			VolatileNodes:      *volatiles,
+			DedicatedNodes:     *dedicated,
+			UnavailabilityRate: *rate,
+			TreatAllVolatile:   *allVol,
+			Seed:               *seed,
+		}
+		switch *policy {
+		case "hadoop":
+			opts = core.HadoopPreset(cs, *expiry)
+		case "moon":
+			opts = core.MOONPreset(cs, false)
+		case "moon-hybrid":
+			opts = core.MOONPreset(cs, true)
+		default:
+			fatal(fmt.Errorf("unknown policy %q", *policy))
+		}
+
+		slots := (*volatiles + *dedicated) * 2
+		switch *app {
+		case "sort":
+			w = workload.Sort(slots)
+		case "wordcount":
+			w = workload.WordCount()
+		case "sleep-sort":
+			w = workload.SleepApp(workload.Sort(slots))
+		case "sleep-wordcount":
+			w = workload.SleepApp(workload.WordCount())
+		default:
+			fatal(fmt.Errorf("unknown app %q", *app))
+		}
+		w.Job.IntermediateFactor = dfs.Factor{D: *interD, V: *interV}
 	}
 	w = workload.Scale(w, *scale)
-	w.Job.IntermediateFactor = dfs.Factor{D: *interD, V: *interV}
 
 	var col *metrics.Collector
 	if *metricsOut != "" {
@@ -87,7 +131,11 @@ func main() {
 	}
 	if col != nil {
 		report := metrics.NewExport("moonsim")
-		report.Add(fmt.Sprintf("moonsim %s", *app), *policy, *rate, 1, col.Snapshot())
+		if spec != nil {
+			report.Scenario = spec.Name
+			report.SpecHash = spec.Hash()
+		}
+		report.Add(fmt.Sprintf("moonsim %s", w.Job.Name), label, *rate, 1, col.Snapshot())
 		f, err := os.Create(*metricsOut)
 		if err != nil {
 			fatal(err)
@@ -101,7 +149,7 @@ func main() {
 	}
 	p := res.Profile
 	fmt.Printf("job            %s (policy %s, rate %.2f, %dV+%dD, seed %d)\n",
-		p.Job, *policy, *rate, *volatiles, *dedicated, *seed)
+		p.Job, label, *rate, opts.Cluster.VolatileNodes, opts.Cluster.DedicatedNodes, *seed)
 	fmt.Printf("state          %v%s\n", p.State, capped(res.HitHorizon))
 	fmt.Printf("makespan       %.0f s\n", p.Makespan)
 	fmt.Printf("avg map        %.1f s\n", p.AvgMapTime)
@@ -118,11 +166,48 @@ func main() {
 	fmt.Printf("read stalls    %d, fetch failures %d\n", res.DFS.ReadStalls, res.DFS.FetchFailures)
 }
 
+// pickVariant compiles the scenario and selects one single-job variant by
+// label (or the first one). Multi-job lines need the sweep harness: point
+// the user at moonbench.
+func pickVariant(spec *scenario.Spec, label string) (harness.Variant, error) {
+	plan, err := scenario.Compile(spec)
+	if err != nil {
+		return harness.Variant{}, err
+	}
+	var labels []string
+	for _, run := range plan.Runs {
+		for _, v := range run.Variants {
+			if label == "" || v.Label == label {
+				return v, nil
+			}
+			labels = append(labels, v.Label)
+		}
+		for _, mv := range run.Multi {
+			if mv.Label == label {
+				return harness.Variant{}, fmt.Errorf(
+					"variant %q of scenario %q is a multi-job line; run it with moonbench -scenario", label, spec.Name)
+			}
+		}
+	}
+	if label == "" {
+		return harness.Variant{}, fmt.Errorf(
+			"scenario %q has no single-job variants; run it with moonbench -scenario", spec.Name)
+	}
+	return harness.Variant{}, fmt.Errorf("scenario %q has no variant %q (have: %s)",
+		spec.Name, label, strings.Join(labels, ", "))
+}
+
 func capped(hit bool) string {
 	if hit {
 		return " (hit simulation horizon)"
 	}
 	return ""
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -94,22 +94,36 @@ func AblationAdaptiveV(app string) []Variant {
 	}
 }
 
-// RunAblation dispatches a named ablation sweep.
-func (c Config) RunAblation(name, app string) (*Sweep, error) {
-	var vs []Variant
+// AblationNames lists the named ablation sweeps AblationVariants accepts.
+var AblationNames = []string{"homestretch", "speccap", "hibernate", "adaptive"}
+
+// AblationVariants resolves a named ablation to its variant lines.
+func AblationVariants(name, app string) ([]Variant, error) {
 	switch name {
 	case "homestretch":
-		vs = AblationHomestretch()
+		return AblationHomestretch(), nil
 	case "speccap":
-		vs = AblationSpecCap()
+		return AblationSpecCap(), nil
 	case "hibernate":
-		vs = AblationHibernate(app)
+		return AblationHibernate(app), nil
 	case "adaptive":
-		vs = AblationAdaptiveV(app)
-	default:
-		return nil, fmt.Errorf("harness: unknown ablation %q (homestretch|speccap|hibernate|adaptive)", name)
+		return AblationAdaptiveV(app), nil
 	}
-	return c.RunSweep(fmt.Sprintf("Ablation %s (%s)", name, app), vs)
+	return nil, fmt.Errorf("harness: unknown ablation %q (homestretch|speccap|hibernate|adaptive)", name)
+}
+
+// AblationTitle names an ablation sweep.
+func AblationTitle(name, app string) string {
+	return fmt.Sprintf("Ablation %s (%s)", name, app)
+}
+
+// RunAblation dispatches a named ablation sweep.
+func (c Config) RunAblation(name, app string) (*Sweep, error) {
+	vs, err := AblationVariants(name, app)
+	if err != nil {
+		return nil, err
+	}
+	return c.RunSweep(AblationTitle(name, app), vs)
 }
 
 // CorrelatedVariants exercises the paper's Section III scenario — whole
@@ -141,7 +155,12 @@ func CorrelatedVariants(app string) []Variant {
 	}
 }
 
+// CorrelatedTitle names the correlated-churn sweep.
+func CorrelatedTitle(app string) string {
+	return fmt.Sprintf("Correlated lab-session churn (%s)", app)
+}
+
 // RunCorrelated sweeps the correlated-churn comparison.
 func (c Config) RunCorrelated(app string) (*Sweep, error) {
-	return c.RunSweep(fmt.Sprintf("Correlated lab-session churn (%s)", app), CorrelatedVariants(app))
+	return c.RunSweep(CorrelatedTitle(app), CorrelatedVariants(app))
 }

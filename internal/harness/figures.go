@@ -58,10 +58,16 @@ func SchedulingVariants(app string) []Variant {
 	}
 }
 
+// Fig4Title names the scheduling sweep; the scenario compiler uses the
+// same string so file-driven runs render identically to flag runs.
+func Fig4Title(app string) string {
+	return fmt.Sprintf("Fig 4/5 (%s): scheduling policies", app)
+}
+
 // Fig4 sweeps the scheduling policies and reports execution time; the same
 // sweep's duplicated-task counts are Figure 5.
 func (c Config) Fig4(app string) (*Sweep, error) {
-	return c.RunSweep(fmt.Sprintf("Fig 4/5 (%s): scheduling policies", app), SchedulingVariants(app))
+	return c.RunSweep(Fig4Title(app), SchedulingVariants(app))
 }
 
 // --- Figure 6 & Table II: intermediate-data replication ----------------------
@@ -91,10 +97,15 @@ func ReplicationVariants(app string) []Variant {
 	return vs
 }
 
+// Fig6Title names the replication sweep (shared with Table II).
+func Fig6Title(app string) string {
+	return fmt.Sprintf("Fig 6 (%s): intermediate replication", app)
+}
+
 // Fig6 sweeps intermediate replication policies; Table II is read from the
 // same sweep at the 0.5 unavailability rate.
 func (c Config) Fig6(app string) (*Sweep, error) {
-	return c.RunSweep(fmt.Sprintf("Fig 6 (%s): intermediate replication", app), ReplicationVariants(app))
+	return c.RunSweep(Fig6Title(app), ReplicationVariants(app))
 }
 
 // Table2Policies are the profile columns the paper prints.
@@ -152,7 +163,12 @@ func OverallVariants(app string, hadoopVOIntermediate int) []Variant {
 	return vs
 }
 
+// Fig7Title names the overall comparison sweep.
+func Fig7Title(app string) string {
+	return fmt.Sprintf("Fig 7 (%s): MOON vs Hadoop-VO", app)
+}
+
 // Fig7 sweeps the overall comparison.
 func (c Config) Fig7(app string) (*Sweep, error) {
-	return c.RunSweep(fmt.Sprintf("Fig 7 (%s): MOON vs Hadoop-VO", app), OverallVariants(app, 3))
+	return c.RunSweep(Fig7Title(app), OverallVariants(app, 3))
 }

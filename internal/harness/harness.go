@@ -12,6 +12,7 @@ package harness
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -65,6 +66,37 @@ func (c Config) withDefaults() Config {
 		c.Rates = []float64{0.1, 0.3, 0.5}
 	}
 	return c
+}
+
+// Validate rejects sweep configurations that would silently produce garbage
+// instead of the paper's matrices: NaN or out-of-range unavailability
+// rates, zero or duplicate churn seeds (a duplicate seed double-counts one
+// realization in every averaged cell), a negative scale divisor, and a
+// non-finite metrics bucket. RunSweep and RunMultiSweep enforce it after
+// defaulting, so the zero Config stays valid.
+func (c Config) Validate() error {
+	for _, r := range c.Rates {
+		if math.IsNaN(r) || r < 0 || r >= 1 {
+			return fmt.Errorf("harness: unavailability rate %v outside [0,1)", r)
+		}
+	}
+	seen := make(map[uint64]bool, len(c.Seeds))
+	for _, s := range c.Seeds {
+		if s == 0 {
+			return fmt.Errorf("harness: seed 0 (seeds must be >= 1)")
+		}
+		if seen[s] {
+			return fmt.Errorf("harness: duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+	if c.Scale < 1 {
+		return fmt.Errorf("harness: scale %d (want >= 1)", c.Scale)
+	}
+	if math.IsNaN(c.MetricsBucket) || c.MetricsBucket < 0 {
+		return fmt.Errorf("harness: metrics bucket %v (want >= 0)", c.MetricsBucket)
+	}
+	return nil
 }
 
 // workers returns the effective pool size for n jobs.
@@ -397,6 +429,9 @@ func (c Config) sweepCells(nVariants int) []sweepCell {
 // serial sweep.
 func (c Config) RunSweep(title string, variants []Variant) (*Sweep, error) {
 	c = c.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
 	sw := &Sweep{Title: title, Rates: c.Rates, Cells: make(map[string]map[float64]RunStats)}
 	for _, v := range variants {
 		sw.Variants = append(sw.Variants, v.Label)

@@ -134,6 +134,9 @@ func mergeMultiSeeds(runs []MultiStats) MultiStats {
 // sweep at any Parallelism.
 func (c Config) RunMultiSweep(title string, variants []MultiVariant) (*MultiSweep, error) {
 	c = c.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
 	sw := &MultiSweep{Title: title, Rates: c.Rates, Cells: make(map[string]map[float64]MultiStats)}
 	for _, v := range variants {
 		sw.Variants = append(sw.Variants, v.Label)

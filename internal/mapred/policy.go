@@ -106,6 +106,10 @@ func (p *weightedFairPolicy) Order(dst, running []*Job) []*Job {
 	return dst
 }
 
+// JobPolicyNames lists the canonical JobPolicyByName spellings, for flag
+// help and `moonbench -list`.
+func JobPolicyNames() []string { return []string{"fifo", "fair", "weighted"} }
+
 // JobPolicyByName resolves a policy flag value ("fifo", "fair" or
 // "weighted"; flag-configured weighted fair runs with uniform weights —
 // per-job weights are a programmatic API).

@@ -199,9 +199,16 @@ type Experiment struct {
 
 // Export is the top-level run report written by `moonbench -metrics`: a
 // schema-versioned header plus one Experiment entry per swept cell.
+//
+// Scenario and SpecHash, when set, record which scenario spec produced the
+// report (the spec's name and its content hash), making exported reports
+// self-describing: two reports with equal hashes came from byte-identical
+// experiment definitions.
 type Export struct {
 	Schema      string       `json:"schema"`
 	Tool        string       `json:"tool,omitempty"`
+	Scenario    string       `json:"scenario,omitempty"`
+	SpecHash    string       `json:"spec_hash,omitempty"`
 	Experiments []Experiment `json:"experiments"`
 }
 

@@ -1,0 +1,194 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/metrics"
+)
+
+// Builtins returns the named scenario registry, in listing order. Each
+// call constructs fresh specs, so callers may mutate (e.g. apply flag
+// overrides) freely. The shipped scenarios/ directory holds the canonical
+// JSON export of every builtin (scripts/genscenarios regenerates it, and
+// the golden tests pin file == builtin).
+func Builtins() []*Spec {
+	return []*Spec{
+		paperFigures(),
+		poissonMix(),
+		correlatedSort(),
+		weightedSkew(),
+		expirySweep(),
+	}
+}
+
+// Lookup resolves a builtin scenario by name.
+func Lookup(name string) (*Spec, bool) {
+	for _, s := range Builtins() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Load resolves a -scenario argument: a path to a spec file if one exists
+// there, otherwise a builtin name.
+func Load(arg string) (*Spec, error) {
+	if f, err := os.Open(arg); err == nil {
+		defer f.Close()
+		s, err := Parse(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", arg, err)
+		}
+		return s, nil
+	}
+	if s, ok := Lookup(arg); ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("unknown scenario %q: no such file, and not a built-in (-list-scenarios prints the built-ins)", arg)
+}
+
+// List prints the builtin registry, one line per scenario.
+func List(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\thash\tdescription")
+	for _, s := range Builtins() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", s.Name, s.Hash(), s.Description)
+	}
+	return tw.Flush()
+}
+
+// floatp/strp build the pointer fields of sparse specs.
+func floatp(v float64) *float64 { return &v }
+func strp(v string) *string     { return &v }
+
+// paperFigures reproduces the full `-experiment all` evaluation: every
+// figure and table of the paper on both Table I applications.
+func paperFigures() *Spec {
+	s, err := FromFlags(Flags{
+		Experiment: "all", App: "both", Policy: "both",
+		Jobs: 3, Stagger: 60, Arrivals: "staggered", ArrivalSeed: 1,
+		MetricsBucket: metrics.DefaultBucket,
+	})
+	if err != nil {
+		panic(err) // static flags; cannot fail
+	}
+	s.Name = "paper-figures"
+	s.Description = "Every figure and table of the paper's evaluation (Figs 1/4/5/6/7, Table II, multi-job) on both apps."
+	return s
+}
+
+// poissonMix is the multi-tenant job stream a shared opportunistic cluster
+// actually sees: a bursty Poisson arrival process, compared across all
+// three arbitration policies.
+func poissonMix() *Spec {
+	return &Spec{
+		Schema:      Schema,
+		Name:        "poisson-mix",
+		Description: "Multi-tenant mix: 5 sleep-sort jobs arriving Poisson (20/h) under fifo vs fair vs weighted arbitration.",
+		Metrics:     MetricsSpec{BucketSeconds: metrics.DefaultBucket},
+		Experiments: []Experiment{{
+			App: "sort",
+			Multi: &MultiExperiment{
+				Jobs:          5,
+				Arrivals:      "poisson",
+				LambdaPerHour: 20,
+				ArrivalSeed:   1,
+				Policies:      []string{"fifo", "fair", "weighted"},
+				Weights:       map[string]float64{"sleep-sort-j2": 3},
+			},
+		}},
+	}
+}
+
+// correlatedSort runs the real sort application (full data movement, not
+// the sleep proxy) under lab-session churn: whole 10-node groups leave
+// together on top of the swept independent churn.
+func correlatedSort() *Spec {
+	corr := &ClusterSpec{Correlated: &CorrelatedSpec{}}
+	return &Spec{
+		Schema:      Schema,
+		Name:        "correlated-sort",
+		Description: "Real sort (full I/O) under correlated lab-session outages: Hadoop-1min vs MOON vs MOON-Hybrid.",
+		Experiments: []Experiment{{
+			Custom: &CustomExperiment{
+				Title:    "Correlated lab sessions, real sort",
+				Cluster:  corr,
+				Workload: WorkloadSpec{App: "sort"},
+				Variants: []VariantSpec{
+					{
+						Label:  "Hadoop1Min",
+						Preset: "hadoop",
+						Sched:  &SchedDelta{TrackerExpirySeconds: floatp(60)},
+						DFS:    &DFSDelta{Mode: strp("moon")},
+					},
+					{Label: "MOON", Preset: "moon"},
+					{Label: "MOON-Hybrid", Preset: "moon-hybrid"},
+				},
+			},
+		}},
+	}
+}
+
+// weightedSkew demonstrates weighted shares: three identical staggered
+// jobs where the first holds a 3x weight, against plain fair-share.
+func weightedSkew() *Spec {
+	return &Spec{
+		Schema:      Schema,
+		Name:        "weighted-skew",
+		Description: "Weighted-fair skew: 3 staggered sleep-sort jobs, job 0 at weight 3, vs plain fair-share.",
+		Experiments: []Experiment{{
+			Custom: &CustomExperiment{
+				Title: "Weighted shares (sleep-sort x3, 60s stagger)",
+				Workload: WorkloadSpec{
+					App: "sort", Sleep: true,
+					Jobs: 3, Arrivals: "staggered", IntervalSeconds: 60,
+				},
+				Variants: []VariantSpec{
+					{Label: "fair", Preset: "moon-hybrid", Policy: "fair"},
+					{
+						Label:   "weighted-j0x3",
+						Preset:  "moon-hybrid",
+						Policy:  "weighted",
+						Weights: map[string]float64{"sleep-sort-j0": 3},
+					},
+				},
+			},
+		}},
+	}
+}
+
+// expirySweep sweeps Hadoop's TrackerExpiryInterval beyond the paper's
+// three points — a pure stack-delta scenario the flag surface cannot
+// express.
+func expirySweep() *Spec {
+	mk := func(label string, expiry float64) VariantSpec {
+		return VariantSpec{
+			Label:  label,
+			Preset: "hadoop",
+			Sched:  &SchedDelta{TrackerExpirySeconds: floatp(expiry)},
+			DFS:    &DFSDelta{Mode: strp("moon")}, // shared data layer, like Fig 4
+		}
+	}
+	return &Spec{
+		Schema:      Schema,
+		Name:        "hadoop-expiry-sweep",
+		Description: "Hadoop TrackerExpiryInterval swept 30s-20min on sleep-sort (extends Fig 4's three points).",
+		Experiments: []Experiment{{
+			Custom: &CustomExperiment{
+				Title:    "Hadoop tracker-expiry sweep (sleep-sort)",
+				Workload: WorkloadSpec{App: "sort", Sleep: true},
+				Variants: []VariantSpec{
+					mk("Hadoop30s", 30),
+					mk("Hadoop1Min", 60),
+					mk("Hadoop5Min", 300),
+					mk("Hadoop10Min", 600),
+					mk("Hadoop20Min", 1200),
+				},
+			},
+		}},
+	}
+}

@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const scenariosDir = "../../scenarios"
+
+// TestShippedScenarioFiles is the schema's golden gate: every shipped
+// scenarios/*.json must parse strictly, validate, compile, and survive a
+// parse → export → parse round trip byte-identically.
+func TestShippedScenarioFiles(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(scenariosDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no scenario files under %s", scenariosDir)
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := Parse(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := spec.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			plan, err := Compile(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(plan.Runs) == 0 {
+				t.Fatal("compiled to an empty plan")
+			}
+
+			var exported bytes.Buffer
+			if err := spec.WriteJSON(&exported); err != nil {
+				t.Fatal(err)
+			}
+			reparsed, err := Parse(bytes.NewReader(exported.Bytes()))
+			if err != nil {
+				t.Fatalf("re-parse of export: %v", err)
+			}
+			var again bytes.Buffer
+			if err := reparsed.WriteJSON(&again); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(exported.Bytes(), again.Bytes()) {
+				t.Error("parse → export → parse is not byte-identical")
+			}
+			// The shipped file itself is canonical: its bytes equal its
+			// own export, so hashes computed from either agree.
+			if !bytes.Equal(raw, exported.Bytes()) {
+				t.Error("file is not in canonical form; regenerate with `go run ./scripts/genscenarios`")
+			}
+		})
+	}
+}
+
+// TestScenarioDirMatchesBuiltins pins the shipped directory to the code
+// registry in both directions: every builtin has its canonical file, and
+// every file is a builtin export (scripts/genscenarios keeps them in
+// sync).
+func TestScenarioDirMatchesBuiltins(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(scenariosDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := map[string]bool{}
+	for _, p := range paths {
+		onDisk[filepath.Base(p)] = true
+	}
+	for _, s := range Builtins() {
+		file := s.Name + ".json"
+		if !onDisk[file] {
+			t.Errorf("builtin %q has no shipped file; run `go run ./scripts/genscenarios`", s.Name)
+			continue
+		}
+		delete(onDisk, file)
+		raw, err := os.ReadFile(filepath.Join(scenariosDir, file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := s.WriteJSON(&want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, want.Bytes()) {
+			t.Errorf("%s drifted from the builtin; run `go run ./scripts/genscenarios`", file)
+		}
+	}
+	for extra := range onDisk {
+		t.Errorf("%s is not a builtin export (builtins own scenarios/; put ad-hoc specs elsewhere)", extra)
+	}
+}

@@ -1,0 +1,690 @@
+// Package scenario is the declarative experiment API of the reproduction:
+// one versioned, JSON-serializable Spec fully describes an experiment —
+// cluster and churn (including correlated lab-session outages), stack
+// deltas over the Hadoop/MOON presets (net, dfs, sched), workload (single
+// or multi-job with staggered or Poisson arrivals and weighted shares),
+// sweep axes (rates, seeds, scale, parallelism) and metrics settings.
+//
+// Specs decode strictly (unknown fields are rejected), validate, default,
+// and round-trip losslessly: Parse(WriteJSON(spec)) == spec, byte for byte
+// on re-export. Compile lowers a Spec to a harness.Config plus a Plan of
+// sweeps; Execute runs the plan. The moonbench flag surface is implemented
+// on top of this package (FromFlags builds a Spec), so a flag invocation
+// and the equivalent scenario file produce byte-identical output — there
+// is exactly one source of truth for experiment assembly.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"slices"
+
+	"repro/internal/harness"
+	"repro/internal/mapred"
+	"repro/internal/metrics"
+)
+
+// Schema is the versioned identifier of the scenario JSON format. Bump the
+// suffix on breaking changes to the Spec layout.
+const Schema = "moon-scenario/v1"
+
+// Vocabulary of the flag-compatible enumerations; `moonbench -list` prints
+// these.
+var (
+	// Experiments are the valid built-in experiment selectors.
+	Experiments = []string{
+		"fig1", "fig4", "fig5", "fig6", "table2", "fig7", "multi", "ablation", "correlated", "all",
+	}
+	// Apps are the paper's Table I applications.
+	Apps = []string{"sort", "wordcount"}
+	// ArrivalProcesses are the supported multi-job submission processes.
+	ArrivalProcesses = []string{"staggered", "poisson"}
+	// Presets are the stack presets custom variants build on.
+	Presets = []string{"hadoop", "moon", "moon-hybrid"}
+	// Renders are the output tables an experiment can print.
+	Renders = []string{"times", "duplicates", "table2", "multi"}
+)
+
+// Spec is one complete, serializable experiment definition.
+type Spec struct {
+	// Schema must be "moon-scenario/v1".
+	Schema string `json:"schema"`
+	// Name identifies the scenario; it is stamped (with the spec hash)
+	// into exported metrics reports.
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Sweep sets the shared sweep axes of every experiment in the spec.
+	Sweep SweepSpec `json:"sweep,omitzero"`
+	// Metrics configures collection for runs that export a report.
+	Metrics MetricsSpec `json:"metrics,omitzero"`
+	// Experiments run in order; each is one figure, ablation, correlated
+	// study, multi-job sweep or fully custom sweep.
+	Experiments []Experiment `json:"experiments"`
+}
+
+// SweepSpec sets the sweep axes shared by a spec's experiments.
+type SweepSpec struct {
+	// Seeds lists the churn realizations to average over (default: [1]).
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Rates are the machine-unavailability rates to sweep
+	// (default: [0.1, 0.3, 0.5], the paper's axis).
+	Rates []float64 `json:"rates,omitempty"`
+	// Scale divides workload size for quick runs (default 1 = paper
+	// scale).
+	Scale int `json:"scale,omitempty"`
+	// Parallelism bounds concurrent simulations (0 = all cores,
+	// 1 = serial); results are identical at any setting.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// MetricsSpec configures cross-layer metrics collection.
+type MetricsSpec struct {
+	// BucketSeconds is the time-series bucket width (default 600). The
+	// CLI only collects when an output path is given (-metrics); the
+	// spec fixes how, not whether.
+	BucketSeconds float64 `json:"bucket_seconds,omitempty"`
+}
+
+// Experiment is one entry of a spec: exactly one of Figure, Ablation,
+// Correlated, Multi or Custom selects the kind.
+type Experiment struct {
+	// Figure selects a paper figure sweep: fig1, fig4, fig5, fig6,
+	// table2 or fig7 (fig4/fig5 share the scheduling sweep; fig6/table2
+	// share the replication sweep).
+	Figure string `json:"figure,omitempty"`
+	// Ablation selects a named ablation sweep (homestretch, speccap,
+	// hibernate, adaptive).
+	Ablation string `json:"ablation,omitempty"`
+	// Correlated selects the correlated lab-session churn comparison.
+	Correlated bool `json:"correlated,omitempty"`
+	// App is the workload ("sort" or "wordcount") for figure (except
+	// fig1), ablation, correlated and multi experiments; custom
+	// experiments carry their app inside the workload.
+	App string `json:"app,omitempty"`
+	// Renders overrides the tables printed from the sweep ("times",
+	// "duplicates", "table2", "multi"); empty selects the kind's
+	// default.
+	Renders []string `json:"renders,omitempty"`
+	// Multi is the policy-comparison multi-job sweep (the moonbench
+	// -experiment multi surface).
+	Multi *MultiExperiment `json:"multi,omitempty"`
+	// Custom is a fully declarative sweep: explicit workload and
+	// variant lines with stack deltas over the presets.
+	Custom *CustomExperiment `json:"custom,omitempty"`
+}
+
+// MultiExperiment sweeps job-arbitration policies over one identical
+// stream of sleep jobs (scheduling-isolated, like Figures 4/5).
+type MultiExperiment struct {
+	// Jobs is the number of jobs per run.
+	Jobs int `json:"jobs"`
+	// Arrivals is "staggered" (default) or "poisson".
+	Arrivals string `json:"arrivals,omitempty"`
+	// IntervalSeconds is the stagger gap or the Poisson mean
+	// inter-arrival time.
+	IntervalSeconds float64 `json:"interval_seconds,omitempty"`
+	// LambdaPerHour is the Poisson arrival rate in jobs/hour, an
+	// alternative to IntervalSeconds (exactly one of the two for
+	// poisson).
+	LambdaPerHour float64 `json:"lambda_per_hour,omitempty"`
+	// ArrivalSeed drives the Poisson offset draws, independent of the
+	// churn seeds.
+	ArrivalSeed uint64 `json:"arrival_seed,omitempty"`
+	// Policies lists the arbitration policies to compare, one variant
+	// line each (default: fifo and fair).
+	Policies []string `json:"policies,omitempty"`
+	// Weights are per-job-name weights for the weighted policy (jobs of
+	// an n-job stream are named <base>-j0 .. <base>-j<n-1>).
+	Weights map[string]float64 `json:"weights,omitempty"`
+}
+
+// CustomExperiment is a declarative sweep: a workload plus variant lines,
+// each a stack preset with deltas.
+type CustomExperiment struct {
+	Title string `json:"title"`
+	// Cluster overrides the paper testbed (60 volatile + 6 dedicated)
+	// for every variant; a variant's own Cluster replaces it entirely.
+	Cluster  *ClusterSpec  `json:"cluster,omitempty"`
+	Workload WorkloadSpec  `json:"workload"`
+	Variants []VariantSpec `json:"variants"`
+}
+
+// WorkloadSpec describes a custom experiment's workload.
+type WorkloadSpec struct {
+	// App is "sort" or "wordcount" (Table I models).
+	App string `json:"app"`
+	// Sleep replays the app's task counts and measured durations with
+	// negligible data movement (the paper's scheduling-isolation app).
+	Sleep bool `json:"sleep,omitempty"`
+
+	// Jobs > 1 turns the workload into a multi-job stream; the fields
+	// below shape the arrival process.
+	Jobs int `json:"jobs,omitempty"`
+	// Arrivals is "staggered" (default) or "poisson".
+	Arrivals string `json:"arrivals,omitempty"`
+	// IntervalSeconds is the stagger gap or Poisson mean inter-arrival.
+	IntervalSeconds float64 `json:"interval_seconds,omitempty"`
+	// ArrivalSeed drives Poisson offset draws.
+	ArrivalSeed uint64 `json:"arrival_seed,omitempty"`
+	// MixScale > 1 alternates full-size jobs with copies scaled down by
+	// this factor (staggered arrivals only) — the heterogeneous mix
+	// where small jobs queue behind or overtake large ones.
+	MixScale int `json:"mix_scale,omitempty"`
+
+	// Replication overrides applied to the base app spec.
+	InputFactor        *FactorSpec `json:"input_factor,omitempty"`
+	IntermediateFactor *FactorSpec `json:"intermediate_factor,omitempty"`
+	// IntermediateClass is "opportunistic" or "reliable".
+	IntermediateClass string      `json:"intermediate_class,omitempty"`
+	OutputFactor      *FactorSpec `json:"output_factor,omitempty"`
+}
+
+// FactorSpec is MOON's two-dimensional replication factor {d,v}.
+type FactorSpec struct {
+	D int `json:"d"`
+	V int `json:"v"`
+}
+
+// VariantSpec is one configuration line of a custom sweep: a preset plus
+// deltas.
+type VariantSpec struct {
+	Label string `json:"label"`
+	// Preset is "hadoop" (stock, 10-min tracker expiry), "moon" or
+	// "moon-hybrid".
+	Preset string `json:"preset"`
+	// Cluster replaces the experiment-level cluster for this variant.
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
+	Sched   *SchedDelta  `json:"sched,omitempty"`
+	DFS     *DFSDelta    `json:"dfs,omitempty"`
+	Net     *NetDelta    `json:"net,omitempty"`
+	// IntermediateFactor overrides the workload's intermediate
+	// replication for this line (the Figure 6 axis).
+	IntermediateFactor *FactorSpec `json:"intermediate_factor,omitempty"`
+	// Policy arbitrates slots between the jobs of a multi-job workload
+	// ("fifo", "fair", "weighted"; empty = fifo).
+	Policy string `json:"policy,omitempty"`
+	// Weights are per-job-name weights; they require Policy "weighted".
+	Weights map[string]float64 `json:"weights,omitempty"`
+}
+
+// ClusterSpec describes the emulated fleet and its churn. Volatile and
+// Dedicated are pointers so that an explicit zero ("no dedicated nodes")
+// is distinguishable from "use the paper testbed" (60 volatile + 6
+// dedicated).
+type ClusterSpec struct {
+	Volatile  *int `json:"volatile,omitempty"`
+	Dedicated *int `json:"dedicated,omitempty"`
+	// AllVolatile churns the dedicated nodes too (the Hadoop baseline,
+	// which cannot tell the classes apart).
+	AllVolatile bool `json:"all_volatile,omitempty"`
+	// HorizonSeconds is the trace length (default 8 hours).
+	HorizonSeconds float64 `json:"horizon_seconds,omitempty"`
+	// Outage overrides the paper's mean-409 s truncated-normal outage
+	// model; the sweep's rate always drives the unavailable fraction.
+	Outage *OutageSpec `json:"outage,omitempty"`
+	// Correlated layers group-correlated lab-session outages on top of
+	// the independent churn.
+	Correlated *CorrelatedSpec `json:"correlated,omitempty"`
+}
+
+// OutageSpec overrides the synthetic outage model; zero fields keep the
+// paper's values (mean 409 s, stddev 200 s, clamp [30 s, 3600 s]).
+type OutageSpec struct {
+	MeanSeconds   float64 `json:"mean_seconds,omitempty"`
+	StddevSeconds float64 `json:"stddev_seconds,omitempty"`
+	MinSeconds    float64 `json:"min_seconds,omitempty"`
+	MaxSeconds    float64 `json:"max_seconds,omitempty"`
+}
+
+// CorrelatedSpec overrides the lab-session model; zero fields keep the
+// defaults (10-node groups, 2 sessions, hour-long, 90% participation).
+type CorrelatedSpec struct {
+	GroupSize            int     `json:"group_size,omitempty"`
+	SessionsPerGroup     int     `json:"sessions_per_group,omitempty"`
+	SessionMeanSeconds   float64 `json:"session_mean_seconds,omitempty"`
+	SessionStddevSeconds float64 `json:"session_stddev_seconds,omitempty"`
+	Participation        float64 `json:"participation,omitempty"`
+}
+
+// SchedDelta overrides scheduler parameters over the preset; nil fields
+// keep the preset's value.
+type SchedDelta struct {
+	TrackerExpirySeconds      *float64 `json:"tracker_expiry_seconds,omitempty"`
+	SuspensionIntervalSeconds *float64 `json:"suspension_interval_seconds,omitempty"`
+	HeartbeatIntervalSeconds  *float64 `json:"heartbeat_interval_seconds,omitempty"`
+	SpeculativeCap            *int     `json:"speculative_cap,omitempty"`
+	SpecSlotFraction          *float64 `json:"spec_slot_fraction,omitempty"`
+	HomestretchH              *float64 `json:"homestretch_h,omitempty"`
+	HomestretchR              *int     `json:"homestretch_r,omitempty"`
+	FastFetchReaction         *bool    `json:"fast_fetch_reaction,omitempty"`
+	MapSlotsPerNode           *int     `json:"map_slots_per_node,omitempty"`
+	ReduceSlotsPerNode        *int     `json:"reduce_slots_per_node,omitempty"`
+}
+
+// DFSDelta overrides data-layer parameters over the preset.
+type DFSDelta struct {
+	// Mode replaces the preset's data layer wholesale ("hadoop" or
+	// "moon") before the other deltas apply — e.g. Hadoop scheduling on
+	// the MOON storage layer, the paper's augmented baseline.
+	Mode                     *string  `json:"mode,omitempty"`
+	HibernateIntervalSeconds *float64 `json:"hibernate_interval_seconds,omitempty"`
+	ExpiryIntervalSeconds    *float64 `json:"expiry_interval_seconds,omitempty"`
+	AvailabilityTarget       *float64 `json:"availability_target,omitempty"`
+	MaxAdaptiveV             *int     `json:"max_adaptive_v,omitempty"`
+	MaxReplicationStreams    *int     `json:"max_replication_streams,omitempty"`
+}
+
+// NetDelta overrides fabric capacities over the defaults (1 GbE NICs,
+// commodity disks).
+type NetDelta struct {
+	NodeBandwidthBytes  *float64 `json:"node_bandwidth_bytes,omitempty"`
+	DiskBandwidthBytes  *float64 `json:"disk_bandwidth_bytes,omitempty"`
+	StallTimeoutSeconds *float64 `json:"stall_timeout_seconds,omitempty"`
+}
+
+// Parse decodes a spec strictly: unknown fields are an error (a typo'd
+// field must not silently vanish), and the schema line must match.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if s.Schema != Schema {
+		return nil, fmt.Errorf("scenario: schema %q (this build reads %q)", s.Schema, Schema)
+	}
+	return &s, nil
+}
+
+// WriteJSON writes the spec in its canonical form: indented JSON, fields
+// in declaration order. Parsing the output and re-exporting reproduces the
+// bytes exactly.
+func (s *Spec) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Hash returns a short content hash of the spec's canonical encoding, for
+// provenance stamps in exported reports.
+func (s *Spec) Hash() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec contains only marshalable kinds; keep the signature
+		// error-free.
+		return "unhashable"
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// withDefaults returns a copy with the sweep and metrics defaults filled
+// in. The stored spec is never mutated: defaults apply at validation and
+// compile time, so round-tripping a sparse spec stays lossless.
+func (s *Spec) withDefaults() Spec {
+	out := *s
+	if out.Schema == "" {
+		out.Schema = Schema
+	}
+	if len(out.Sweep.Seeds) == 0 {
+		out.Sweep.Seeds = []uint64{1}
+	}
+	if len(out.Sweep.Rates) == 0 {
+		out.Sweep.Rates = []float64{0.1, 0.3, 0.5}
+	}
+	if out.Sweep.Scale == 0 {
+		out.Sweep.Scale = 1
+	}
+	if out.Metrics.BucketSeconds == 0 {
+		out.Metrics.BucketSeconds = metrics.DefaultBucket
+	}
+	return out
+}
+
+// harnessConfig lowers the sweep axes to a harness.Config.
+func (s *Spec) harnessConfig() harness.Config {
+	d := s.withDefaults()
+	return harness.Config{
+		Seeds:         d.Sweep.Seeds,
+		Scale:         d.Sweep.Scale,
+		Rates:         d.Sweep.Rates,
+		Parallelism:   d.Sweep.Parallelism,
+		MetricsBucket: d.Metrics.BucketSeconds,
+	}
+}
+
+// Validate checks the whole spec statically: schema, sweep axes (via
+// harness.Config.Validate), and every experiment's vocabulary and shape.
+// A valid spec always compiles.
+func (s *Spec) Validate() error {
+	if s.Schema != Schema {
+		return fmt.Errorf("scenario: schema %q (want %q)", s.Schema, Schema)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec needs a name")
+	}
+	if err := s.harnessConfig().Validate(); err != nil {
+		return err
+	}
+	if s.Sweep.Scale < 0 || s.Sweep.Parallelism < 0 {
+		return fmt.Errorf("scenario: negative sweep scale/parallelism")
+	}
+	if s.Metrics.BucketSeconds < 0 || math.IsNaN(s.Metrics.BucketSeconds) {
+		return fmt.Errorf("scenario: metrics bucket %v", s.Metrics.BucketSeconds)
+	}
+	if len(s.Experiments) == 0 {
+		return fmt.Errorf("scenario: %q has no experiments", s.Name)
+	}
+	for i := range s.Experiments {
+		if err := s.Experiments[i].validate(); err != nil {
+			return fmt.Errorf("scenario: %q experiment %d: %w", s.Name, i, err)
+		}
+	}
+	return nil
+}
+
+func (e *Experiment) validate() error {
+	kinds := 0
+	for _, set := range []bool{e.Figure != "", e.Ablation != "", e.Correlated, e.Multi != nil, e.Custom != nil} {
+		if set {
+			kinds++
+		}
+	}
+	if kinds != 1 {
+		return fmt.Errorf("want exactly one of figure, ablation, correlated, multi or custom (got %d)", kinds)
+	}
+
+	needApp := e.Figure != "" && e.Figure != "fig1" || e.Ablation != "" || e.Correlated || e.Multi != nil
+	if needApp && !slices.Contains(Apps, e.App) {
+		return fmt.Errorf("app %q (want sort or wordcount)", e.App)
+	}
+	if !needApp && e.App != "" {
+		return fmt.Errorf("app %q is set but unused here (custom experiments name the app in their workload; fig1 has none)", e.App)
+	}
+
+	multi := e.Multi != nil || e.Custom != nil && e.Custom.Workload.Jobs > 1
+	for _, r := range e.Renders {
+		if !slices.Contains(Renders, r) {
+			return fmt.Errorf("unknown render %q (want %s)", r, joinOr(Renders))
+		}
+		if e.Figure == "fig1" {
+			return fmt.Errorf("fig1 renders nothing but the trace table")
+		}
+		if (r == "multi") != multi {
+			return fmt.Errorf("render %q does not apply to this experiment kind", r)
+		}
+		// Table II reads the replication sweep's VO-*/HA-* columns; on any
+		// other sweep it would print a silently all-zero table.
+		if r == "table2" && e.Figure != "fig6" && e.Figure != "table2" {
+			return fmt.Errorf("render \"table2\" only applies to the fig6/table2 replication sweep")
+		}
+	}
+
+	switch {
+	case e.Figure != "":
+		switch e.Figure {
+		case "fig1", "fig4", "fig5", "fig6", "table2", "fig7":
+		default:
+			return fmt.Errorf("unknown figure %q (want fig1, fig4, fig5, fig6, table2 or fig7)", e.Figure)
+		}
+	case e.Ablation != "":
+		if !slices.Contains(harness.AblationNames, e.Ablation) {
+			return fmt.Errorf("unknown ablation %q (want %s)", e.Ablation, joinOr(harness.AblationNames))
+		}
+	case e.Multi != nil:
+		return e.Multi.validate()
+	case e.Custom != nil:
+		return e.Custom.validate()
+	}
+	return nil
+}
+
+func (m *MultiExperiment) validate() error {
+	if m.Jobs < 1 {
+		return fmt.Errorf("multi needs jobs >= 1 (got %d)", m.Jobs)
+	}
+	if err := validateArrivals(m.Arrivals, m.IntervalSeconds, m.LambdaPerHour); err != nil {
+		return err
+	}
+	for _, p := range m.Policies {
+		if _, err := mapred.JobPolicyByName(p); err != nil {
+			return err
+		}
+	}
+	if len(m.Weights) > 0 && !slices.Contains(m.Policies, "weighted") {
+		return fmt.Errorf("weights need the \"weighted\" policy in policies")
+	}
+	return validateWeights(m.Weights)
+}
+
+func (c *CustomExperiment) validate() error {
+	if c.Title == "" {
+		return fmt.Errorf("custom needs a title")
+	}
+	if err := c.Cluster.validate(); err != nil {
+		return err
+	}
+	if err := c.Workload.validate(); err != nil {
+		return err
+	}
+	if len(c.Variants) == 0 {
+		return fmt.Errorf("custom %q has no variants", c.Title)
+	}
+	labels := make(map[string]bool, len(c.Variants))
+	for i := range c.Variants {
+		v := &c.Variants[i]
+		if v.Label == "" {
+			return fmt.Errorf("custom %q variant %d has no label", c.Title, i)
+		}
+		if labels[v.Label] {
+			return fmt.Errorf("custom %q duplicates variant label %q", c.Title, v.Label)
+		}
+		labels[v.Label] = true
+		if err := v.validate(c.Workload.Jobs > 1); err != nil {
+			return fmt.Errorf("variant %q: %w", v.Label, err)
+		}
+	}
+	return nil
+}
+
+func (w *WorkloadSpec) validate() error {
+	if !slices.Contains(Apps, w.App) {
+		return fmt.Errorf("workload app %q (want sort or wordcount)", w.App)
+	}
+	if w.Jobs < 0 {
+		return fmt.Errorf("workload jobs %d", w.Jobs)
+	}
+	if w.Jobs > 1 {
+		if err := validateArrivals(w.Arrivals, w.IntervalSeconds, 0); err != nil {
+			return err
+		}
+		if w.MixScale < 0 || w.MixScale == 1 {
+			return fmt.Errorf("mix_scale %d (want 0 or >= 2)", w.MixScale)
+		}
+		if w.MixScale > 1 && w.Arrivals == "poisson" {
+			return fmt.Errorf("mix_scale requires staggered arrivals")
+		}
+	} else if w.Arrivals != "" || w.IntervalSeconds != 0 || w.MixScale != 0 || w.ArrivalSeed != 0 {
+		return fmt.Errorf("arrival fields need jobs > 1")
+	}
+	switch w.IntermediateClass {
+	case "", "opportunistic", "reliable":
+	default:
+		return fmt.Errorf("intermediate_class %q (want opportunistic or reliable)", w.IntermediateClass)
+	}
+	for _, f := range []*FactorSpec{w.InputFactor, w.IntermediateFactor, w.OutputFactor} {
+		if err := f.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *FactorSpec) validate() error {
+	if f == nil {
+		return nil
+	}
+	if f.D < 0 || f.V < 0 || f.D+f.V == 0 {
+		return fmt.Errorf("replication factor {%d,%d} (want d,v >= 0, d+v > 0)", f.D, f.V)
+	}
+	return nil
+}
+
+func (v *VariantSpec) validate(multi bool) error {
+	if !slices.Contains(Presets, v.Preset) {
+		return fmt.Errorf("preset %q (want %s)", v.Preset, joinOr(Presets))
+	}
+	if err := v.Cluster.validate(); err != nil {
+		return err
+	}
+	if err := v.IntermediateFactor.validate(); err != nil {
+		return err
+	}
+	if v.Policy != "" {
+		if !multi {
+			return fmt.Errorf("policy %q needs a multi-job workload", v.Policy)
+		}
+		if _, err := mapred.JobPolicyByName(v.Policy); err != nil {
+			return err
+		}
+	}
+	if len(v.Weights) > 0 && v.Policy != "weighted" {
+		return fmt.Errorf("weights need policy \"weighted\"")
+	}
+	if err := validateWeights(v.Weights); err != nil {
+		return err
+	}
+	if v.Sched != nil {
+		s := v.Sched
+		for name, p := range map[string]*float64{
+			"tracker_expiry_seconds":      s.TrackerExpirySeconds,
+			"heartbeat_interval_seconds":  s.HeartbeatIntervalSeconds,
+			"suspension_interval_seconds": s.SuspensionIntervalSeconds,
+			"spec_slot_fraction":          s.SpecSlotFraction,
+			"homestretch_h":               s.HomestretchH,
+		} {
+			if p != nil && (*p < 0 || math.IsNaN(*p)) {
+				return fmt.Errorf("sched %s %v", name, *p)
+			}
+		}
+		if s.SpeculativeCap != nil && *s.SpeculativeCap < 0 {
+			return fmt.Errorf("sched speculative_cap %d", *s.SpeculativeCap)
+		}
+		if s.MapSlotsPerNode != nil && *s.MapSlotsPerNode < 1 ||
+			s.ReduceSlotsPerNode != nil && *s.ReduceSlotsPerNode < 1 {
+			return fmt.Errorf("sched slots per node must be >= 1")
+		}
+	}
+	if v.DFS != nil {
+		d := v.DFS
+		if d.Mode != nil && *d.Mode != "hadoop" && *d.Mode != "moon" {
+			return fmt.Errorf("dfs mode %q (want hadoop or moon)", *d.Mode)
+		}
+		if d.AvailabilityTarget != nil && (*d.AvailabilityTarget < 0 || *d.AvailabilityTarget >= 1) {
+			return fmt.Errorf("dfs availability_target %v outside [0,1)", *d.AvailabilityTarget)
+		}
+	}
+	if v.Net != nil {
+		n := v.Net
+		for name, p := range map[string]*float64{
+			"node_bandwidth_bytes":  n.NodeBandwidthBytes,
+			"disk_bandwidth_bytes":  n.DiskBandwidthBytes,
+			"stall_timeout_seconds": n.StallTimeoutSeconds,
+		} {
+			if p != nil && (*p <= 0 || math.IsNaN(*p)) {
+				return fmt.Errorf("net %s %v (want > 0)", name, *p)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *ClusterSpec) validate() error {
+	if c == nil {
+		return nil
+	}
+	vol, ded := 60, 6
+	if c.Volatile != nil {
+		vol = *c.Volatile
+	}
+	if c.Dedicated != nil {
+		ded = *c.Dedicated
+	}
+	if vol < 0 || ded < 0 || vol+ded == 0 {
+		return fmt.Errorf("cluster needs nodes (got %d volatile, %d dedicated)", vol, ded)
+	}
+	if c.HorizonSeconds < 0 {
+		return fmt.Errorf("cluster horizon %v", c.HorizonSeconds)
+	}
+	if o := c.Outage; o != nil {
+		if o.MeanSeconds < 0 || o.StddevSeconds < 0 || o.MinSeconds < 0 ||
+			o.MaxSeconds < 0 || o.MaxSeconds > 0 && o.MaxSeconds < o.MinSeconds {
+			return fmt.Errorf("outage model [%v,%v] mean %v stddev %v",
+				o.MinSeconds, o.MaxSeconds, o.MeanSeconds, o.StddevSeconds)
+		}
+	}
+	if cc := c.Correlated; cc != nil {
+		if cc.GroupSize < 0 || cc.SessionsPerGroup < 0 || cc.SessionMeanSeconds < 0 ||
+			cc.SessionStddevSeconds < 0 || cc.Participation < 0 || cc.Participation > 1 {
+			return fmt.Errorf("correlated model: negative field or participation outside [0,1]")
+		}
+	}
+	return nil
+}
+
+func validateArrivals(process string, interval, lambda float64) error {
+	if math.IsNaN(interval) || math.IsNaN(lambda) {
+		return fmt.Errorf("NaN arrival interval/lambda")
+	}
+	switch process {
+	case "", "staggered":
+		if lambda != 0 {
+			return fmt.Errorf("lambda_per_hour needs poisson arrivals")
+		}
+		if interval < 0 {
+			return fmt.Errorf("interval_seconds %v", interval)
+		}
+	case "poisson":
+		if (interval > 0) == (lambda > 0) {
+			return fmt.Errorf("poisson arrivals need exactly one of interval_seconds or lambda_per_hour > 0")
+		}
+		if interval < 0 || lambda < 0 {
+			return fmt.Errorf("negative arrival interval/lambda")
+		}
+	default:
+		return fmt.Errorf("unknown arrival process %q (want staggered or poisson)", process)
+	}
+	return nil
+}
+
+func validateWeights(w map[string]float64) error {
+	for name, wt := range w {
+		if wt <= 0 || math.IsNaN(wt) {
+			return fmt.Errorf("weight %v for job %q (want > 0)", wt, name)
+		}
+	}
+	return nil
+}
+
+// joinOr renders a vocabulary list for error messages: "a, b or c".
+func joinOr(names []string) string {
+	switch len(names) {
+	case 0:
+		return ""
+	case 1:
+		return names[0]
+	}
+	out := ""
+	for i, n := range names[:len(names)-1] {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out + " or " + names[len(names)-1]
+}

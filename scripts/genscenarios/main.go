@@ -1,0 +1,46 @@
+// Command genscenarios writes the canonical JSON export of every built-in
+// scenario into a directory (default scenarios/). The shipped files are
+// exactly these exports — the golden tests in internal/scenario pin file
+// bytes == builtin export, so the directory cannot drift from the code.
+//
+// Usage:
+//
+//	go run ./scripts/genscenarios [-dir scenarios]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	dir := flag.String("dir", "scenarios", "output directory")
+	flag.Parse()
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, s := range scenario.Builtins() {
+		if err := s.Validate(); err != nil {
+			fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*dir, s.Name+".json")
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%s)\n", path, s.Hash())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genscenarios:", err)
+	os.Exit(1)
+}
