@@ -8,8 +8,10 @@
 //	moonbench -experiment all -scale 4 -seeds 1,2,3
 //	moonbench -experiment multi -policy fair -jobs 4 -stagger 300
 //	moonbench -experiment multi -arrivals poisson -lambda 30 -policy both
+//	moonbench -experiment live -jobs 3 -policy both
 //	moonbench -experiment fig4 -app sort -metrics out.json
 //	moonbench -scenario scenarios/poisson-mix.json
+//	moonbench -scenario scenarios/live-mix.json -metrics live.json
 //	moonbench -scenario correlated-sort -scale 16 -seeds 1
 //	moonbench -list             # valid flag values
 //	moonbench -list-scenarios   # built-in named scenarios
@@ -60,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		rates      = fs.String("rates", "0.1,0.3,0.5", "comma-separated unavailability rates")
 		ablation   = fs.String("ablation", "homestretch", strings.Join(harness.AblationNames, "|"))
 		parallel   = fs.Int("parallel", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
-		policy     = fs.String("policy", "both", "multi-job slot arbitration: fifo|fair|weighted|both")
+		policy     = fs.String("policy", "both", "multi-job slot arbitration: fifo|fair|weighted|priority|both")
 		jobs       = fs.Int("jobs", 3, "multi-job experiment: jobs per run")
 		stagger    = fs.Float64("stagger", 60, "multi-job staggered arrivals: seconds between submissions")
 		arrivals   = fs.String("arrivals", "staggered", "multi-job arrival process: staggered|poisson")
@@ -126,6 +128,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 			spec.Metrics.BucketSeconds = *metricsBkt
 		}
 	} else {
+		if *experiment == "live" {
+			// Live jobs are submitted together: the arrival-process flags
+			// (and the simulator-only ablation selector) must fail loudly
+			// rather than be silently dropped, matching the scenario
+			// path's validation.
+			for _, name := range []string{"stagger", "arrivals", "lambda", "arrival-seed", "ablation"} {
+				if explicit[name] {
+					return fmt.Errorf("-%s does not apply to -experiment live (live jobs are submitted together)", name)
+				}
+			}
+		}
 		f := scenario.Flags{
 			Experiment:    *experiment,
 			App:           *app,

@@ -81,6 +81,93 @@ func TestScenarioFileMatchesFlagRun(t *testing.T) {
 	}
 }
 
+// TestLiveScenarioEndToEnd drives the live goroutine engine from a
+// moon-scenario/v1 file with "execution": "live": ≥3 concurrently
+// submitted jobs per cell complete under trace-compressed churn across
+// all three policy lines, and the exported report carries engine-layer
+// per-job gauges and task-duration histograms. CI runs this under -race.
+func TestLiveScenarioEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "live.json")
+	spec := `{
+  "schema": "moon-scenario/v1",
+  "name": "live-e2e",
+  "execution": "live",
+  "live": {
+    "volatile_workers": 3,
+    "dedicated_workers": 1,
+    "horizon_seconds": 60,
+    "compression_ms": 1,
+    "splits_per_job": 5,
+    "words_per_split": 150,
+    "reduces_per_job": 2
+  },
+  "sweep": {"seeds": [1], "rates": [0.3]},
+  "metrics": {"bucket_seconds": 1},
+  "experiments": [
+    {
+      "app": "wordcount",
+      "multi": {
+        "jobs": 3,
+        "policies": ["fifo", "fair", "priority"],
+        "priorities": {"live-j1": 7}
+      }
+    }
+  ]
+}
+`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report := filepath.Join(dir, "live.json.report.json")
+	out := runCLI(t, "-scenario", specPath, "-metrics", report)
+	if !strings.Contains(out, "Live engine: 3 concurrent word-count jobs") {
+		t.Fatalf("missing live header:\n%s", out)
+	}
+	for _, v := range []string{"live-fifo", "live-fair", "live-priority"} {
+		line := ""
+		for _, l := range strings.Split(out, "\n") {
+			if strings.Contains(l, v) {
+				line = l
+				break
+			}
+		}
+		if line == "" {
+			t.Fatalf("variant %s missing from output:\n%s", v, out)
+		}
+		// "done" column is jobs completed: all 3.
+		if !strings.Contains(line, "3.0") {
+			t.Errorf("variant %s did not complete all jobs: %s", v, line)
+		}
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"scenario": "live-e2e"`, `"task_duration_seconds"`, `"queue_wait_seconds"`, `"makespan_seconds"`, `"layer": "engine"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("report missing %s", want)
+		}
+	}
+}
+
+// TestLiveRejectsArrivalFlags: live jobs are submitted together, so an
+// explicit arrival-process flag must fail loudly rather than be silently
+// dropped.
+func TestLiveRejectsArrivalFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-experiment", "live", "-arrivals", "poisson", "-lambda", "30"},
+		{"-experiment", "live", "-stagger", "120"},
+		{"-experiment", "live", "-arrival-seed", "7"},
+		{"-experiment", "live", "-ablation", "speccap"},
+	} {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("moonbench %s: accepted", strings.Join(args, " "))
+		}
+	}
+}
+
 // TestListFlags pins that -list names every enumerated flag vocabulary
 // (PR 3 made unknown values hard errors; -list is how you discover the
 // valid ones).

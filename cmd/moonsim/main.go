@@ -170,6 +170,10 @@ func main() {
 // label (or the first one). Multi-job lines need the sweep harness: point
 // the user at moonbench.
 func pickVariant(spec *scenario.Spec, label string) (harness.Variant, error) {
+	if spec.Execution == "live" {
+		return harness.Variant{}, fmt.Errorf(
+			"scenario %q runs the live engine; run it with moonbench -scenario", spec.Name)
+	}
 	plan, err := scenario.Compile(spec)
 	if err != nil {
 		return harness.Variant{}, err

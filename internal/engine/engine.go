@@ -12,6 +12,14 @@
 // intermediate data (the paper's hybrid-aware replication), and re-executes
 // maps whose outputs became unreachable. The first completed attempt of a
 // task wins; results are exactly-once regardless of churn.
+//
+// The engine is multi-tenant: Submit enqueues any number of concurrent
+// jobs on one persistent master, and the shared scheduling core
+// (internal/sched — the same queue and policy family the simulator's
+// JobTracker arbitrates with) decides which job each idle worker is
+// offered. Every job gets its own result set and JobProfile (queue wait,
+// makespan, per-job attempt statistics); Run remains the one-shot
+// submit-and-wait convenience wrapper.
 package engine
 
 import (
@@ -24,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/sched"
 )
 
 // MapFunc processes one input split, emitting intermediate key/value pairs.
@@ -39,6 +48,10 @@ type Job struct {
 	Reduces int
 	Map     MapFunc
 	Reduce  ReduceFunc
+
+	// Priority is the job's strict-priority rank (higher wins every slot
+	// offer under the "priority" policy; other policies ignore it).
+	Priority int
 }
 
 // Config describes the worker pool and the MOON-style policies.
@@ -64,12 +77,24 @@ type Config struct {
 	// unreachable and the map is re-executed.
 	ReplicateToDedicated bool
 
+	// JobPolicy arbitrates execution slots between concurrently submitted
+	// jobs: "fifo" (the default when empty), "fair", "weighted" or
+	// "priority" — resolved through the shared scheduling core, so the
+	// spelling vocabulary (and the hard error on a typo) is exactly the
+	// simulator's.
+	JobPolicy string
+
+	// JobWeights are the per-job-name weights of the "weighted" policy; a
+	// job without an entry runs at weight 1.
+	JobWeights map[string]float64
+
 	// Metrics, when non-nil, receives engine-layer instrumentation
 	// (attempt launches, backup copies, frozen-task detections, map
-	// re-executions, fetch failures) from the master loop. Series are
-	// bucketed by wall-clock seconds since Run started. The collector is
-	// only touched from the master goroutine, so concurrent Suspend/
-	// Resume callers never race on it; snapshot it after Run returns.
+	// re-executions, fetch failures, per-job queue-wait and makespan
+	// gauges, task-duration histograms) from the master loop. Series are
+	// bucketed by wall-clock seconds since the cluster started. The
+	// collector is only touched from the master goroutine; Close the
+	// cluster (which waits for the master to exit) before snapshotting.
 	Metrics *metrics.Collector
 }
 
@@ -92,36 +117,78 @@ func (c Config) validate() error {
 	if c.SuspensionTimeout <= 0 || c.HeartbeatInterval <= 0 || c.FetchTimeout <= 0 {
 		return errors.New("engine: timeouts must be positive")
 	}
+	if c.JobPolicy != "" {
+		if _, err := sched.PolicyByName[*liveJob](c.JobPolicy); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+	}
 	return nil
 }
 
-// Cluster is a live worker pool. Create with New, run jobs with Run,
-// inject churn with Suspend/Resume, and Close when done.
+// policy resolves the configured arbitration policy (validated in New).
+func (c Config) policy() sched.Policy[*liveJob] {
+	name := c.JobPolicy
+	if name == "" {
+		name = "fifo"
+	}
+	p, err := sched.PolicyByName[*liveJob](name)
+	if err != nil {
+		// validate() already rejected unknown names.
+		panic(err)
+	}
+	if p.Name() == "weighted" && len(c.JobWeights) > 0 {
+		return sched.WeightedFair[*liveJob](c.JobWeights)
+	}
+	return p
+}
+
+// Cluster is a live worker pool with one persistent master. Create with
+// New, submit concurrent jobs with Submit (or run one with Run), inject
+// churn with Suspend/Resume, and Close when done.
 type Cluster struct {
 	cfg     Config
 	workers []*worker
 	closed  chan struct{}
 	once    sync.Once
+
+	submits    chan submitReq
+	drains     chan chan struct{}
+	masterDone chan struct{}
+	// master is owned by the master goroutine while it runs; only read
+	// after Close (which waits for the goroutine to exit) — tests audit
+	// queue accounting through it.
+	master *master
 }
 
-// New starts the worker goroutine pool.
+// New starts the worker goroutine pool and the master loop.
 func New(cfg Config) (*Cluster, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{cfg: cfg, closed: make(chan struct{})}
+	c := &Cluster{
+		cfg:        cfg,
+		closed:     make(chan struct{}),
+		submits:    make(chan submitReq),
+		drains:     make(chan chan struct{}),
+		masterDone: make(chan struct{}),
+	}
 	total := cfg.VolatileWorkers + cfg.DedicatedWorkers
 	for i := 0; i < total; i++ {
 		w := newWorker(i, i >= cfg.VolatileWorkers, cfg)
 		c.workers = append(c.workers, w)
 		go w.run(c.closed)
 	}
+	c.master = newMaster(c)
+	go c.master.run()
 	return c, nil
 }
 
-// Close stops all workers. Jobs in flight fail.
+// Close stops the master and all workers and waits for the master loop to
+// exit, so a Config.Metrics collector is safe to snapshot afterwards.
+// Jobs in flight fail; their handles report the closure.
 func (c *Cluster) Close() {
 	c.once.Do(func() { close(c.closed) })
+	<-c.masterDone
 }
 
 // Workers returns the total worker count.
@@ -156,7 +223,7 @@ func (c *Cluster) Suspended(worker int) bool {
 	return worker >= 0 && worker < len(c.workers) && c.workers[worker].gate.closedNow()
 }
 
-// Stats summarizes one Run.
+// Stats summarizes one job's execution.
 type Stats struct {
 	MapAttempts    int // map executions launched (>= len(Inputs))
 	ReduceAttempts int // reduce executions launched (>= Reduces)
@@ -165,15 +232,116 @@ type Stats struct {
 	FetchFailures  int // intermediate fetches that timed out or missed
 }
 
-// Run executes the job and returns the reduce outputs keyed by reduce
-// output key. It is safe to run jobs sequentially on one cluster; one Run
-// at a time.
-func (c *Cluster) Run(ctx context.Context, job Job) (map[string]string, Stats, error) {
-	if len(job.Inputs) == 0 || job.Map == nil || job.Reduce == nil || job.Reduces < 1 {
-		return nil, Stats{}, errors.New("engine: job needs inputs, Map, Reduce and Reduces >= 1")
+// JobProfile is the live engine's per-job execution profile — the
+// wall-clock counterpart of the simulator's mapred.Profile.
+type JobProfile struct {
+	Job      string
+	Priority int
+	// QueueWait is submission → first attempt launch: how long the job
+	// waited for its first slot under the arbitration policy.
+	QueueWait time.Duration
+	// Makespan is submission → completion.
+	Makespan time.Duration
+	// Stats are the job's own attempt statistics.
+	Stats Stats
+}
+
+// JobHandle tracks one submitted job. Wait blocks until the job completes
+// (or ctx ends); Done exposes the completion signal for select loops.
+type JobHandle struct {
+	name string
+	done chan struct{}
+
+	// Written by the master before done closes; read only after.
+	results map[string]string
+	profile JobProfile
+	err     error
+}
+
+// Name returns the job's name.
+func (h *JobHandle) Name() string { return h.name }
+
+// Done is closed when the job completes or the cluster closes.
+func (h *JobHandle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the job finishes and returns its reduce outputs and
+// profile. If ctx ends first, the job keeps running (there is no
+// preemption) and Wait returns ctx.Err(); Wait again to re-await it.
+func (h *JobHandle) Wait(ctx context.Context) (map[string]string, JobProfile, error) {
+	select {
+	case <-ctx.Done():
+		return nil, JobProfile{}, ctx.Err()
+	case <-h.done:
+		return h.results, h.profile, h.err
 	}
-	m := newMaster(c, job)
-	return m.run(ctx)
+}
+
+type submitReq struct {
+	job   Job
+	reply chan submitResp
+}
+
+type submitResp struct {
+	h   *JobHandle
+	err error
+}
+
+// Submit enqueues a job on the master. Concurrent jobs share the worker
+// pool under Config.JobPolicy; a job whose name collides with a still-live
+// job is rejected (map-output stores and results are keyed by job).
+func (c *Cluster) Submit(job Job) (*JobHandle, error) {
+	if len(job.Inputs) == 0 || job.Map == nil || job.Reduce == nil || job.Reduces < 1 {
+		return nil, errors.New("engine: job needs inputs, Map, Reduce and Reduces >= 1")
+	}
+	req := submitReq{job: job, reply: make(chan submitResp, 1)}
+	select {
+	case c.submits <- req:
+	case <-c.masterDone:
+		return nil, errors.New("engine: cluster closed")
+	}
+	// The send is a rendezvous: the master has the request and always
+	// replies (buffered, so it never blocks) before it can exit, so an
+	// accepted job's handle is never lost to a concurrent Close.
+	resp := <-req.reply
+	return resp.h, resp.err
+}
+
+// Drain blocks until every submitted job has finished and its last
+// in-flight attempt has retired (straggler and backup copies of a decided
+// task keep running to their next checkpoint; results are unaffected, but
+// accounting and intermediate stores only settle once they report back).
+// Use it before reading a metrics snapshot for a completed workload, or
+// before asserting on queue accounting. Returns ctx.Err() if ctx ends
+// first, or an error if the cluster closes while draining.
+func (c *Cluster) Drain(ctx context.Context) error {
+	reply := make(chan struct{})
+	select {
+	case c.drains <- reply:
+	case <-c.masterDone:
+		return errors.New("engine: cluster closed")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-reply:
+		return nil
+	case <-c.masterDone:
+		return errors.New("engine: cluster closed")
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Run executes one job and returns the reduce outputs keyed by reduce
+// output key: Submit + Wait. Concurrent Runs (and Submits) on one cluster
+// are fine — that is the point of the multi-tenant master.
+func (c *Cluster) Run(ctx context.Context, job Job) (map[string]string, Stats, error) {
+	h, err := c.Submit(job)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	res, prof, err := h.Wait(ctx)
+	return res, prof.Stats, err
 }
 
 // partitionOf routes a key to a reduce partition.

@@ -1,16 +1,76 @@
 package engine
 
 import (
-	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/sched"
 )
+
+// liveJob is the master's record of one submitted job — the engine's
+// implementation of the shared scheduling core's Job view, so the same
+// policies that arbitrate the simulator's TaskTracker slots arbitrate the
+// live worker pool.
+type liveJob struct {
+	// id scopes the job's intermediate-store keys; unique for the
+	// cluster's lifetime.
+	id   int
+	spec Job
+
+	maps    []*taskState
+	reduces []*taskState
+
+	results map[string]string
+	stats   Stats
+
+	// attempts is the shared live-attempt accounting: Live counts the
+	// job's outstanding attempts (maintained at launch/retire), Inactive
+	// the subset on silent workers (refreshed before each scheduling
+	// pass). Fair-share ranks jobs by the active difference.
+	attempts sched.Attempts
+
+	submittedAt time.Time
+	launchedAt  time.Time
+	launched    bool
+	finished    bool
+	cleared     bool
+
+	handle *JobHandle
+
+	// Per-job gauges, scoped by job name (nil without a collector).
+	mQueueWait *metrics.Gauge
+	mMakespan  *metrics.Gauge
+}
+
+func (j *liveJob) Name() string        { return j.spec.Name }
+func (j *liveJob) Done() bool          { return j.finished }
+func (j *liveJob) ActiveAttempts() int { return j.attempts.Active() }
+func (j *liveJob) Priority() int       { return j.spec.Priority }
+
+func (j *liveJob) allMapsDone() bool {
+	for _, t := range j.maps {
+		if !t.done {
+			return false
+		}
+	}
+	return true
+}
+
+func (j *liveJob) allReducesDone() bool {
+	for _, t := range j.reduces {
+		if !t.done {
+			return false
+		}
+	}
+	return true
+}
 
 // masterEvent is anything a worker reports back.
 type masterEvent struct {
 	kind    eventKind
+	job     *liveJob
 	taskID  int // map or reduce index
 	attempt int
 	worker  int
@@ -31,6 +91,7 @@ const (
 type attemptRef struct {
 	attempt int
 	worker  int
+	started time.Time
 }
 
 // taskState is the master's record of one map or reduce task.
@@ -44,24 +105,26 @@ type taskState struct {
 	nextAttempt int
 }
 
-// master coordinates one job run.
+// master coordinates the cluster's whole job stream: it owns the shared
+// scheduling queue, assigns idle workers to jobs in policy order, detects
+// frozen tasks, and completes job handles. It is the only goroutine that
+// touches scheduling state and the metrics collector.
 type master struct {
-	c   *Cluster
-	job Job
-
-	maps    []*taskState
-	reduces []*taskState
+	c     *Cluster
+	queue *sched.Queue[*liveJob]
 
 	events chan masterEvent
 	hb     chan int
 
-	lastBeat []time.Time
+	lastBeat  []time.Time
+	nextJobID int
 
-	results map[string]string
-	stats   Stats
+	// drainWaiters are Drain callers blocked until every job finished and
+	// every attempt retired.
+	drainWaiters []chan struct{}
 
 	// Instrument handles (nil without a collector); series buckets are
-	// wall-clock seconds since run start.
+	// wall-clock seconds since the master started.
 	start         time.Time
 	mMapAttempts  *metrics.Counter
 	mRedAttempts  *metrics.Counter
@@ -69,27 +132,24 @@ type master struct {
 	mReexecs      *metrics.Counter
 	mFetchFails   *metrics.Counter
 	mFrozenChecks *metrics.Counter
+	mRunningJobs  *metrics.Series
+	mMapDur       *metrics.Histogram
+	mReduceDur    *metrics.Histogram
 }
 
-// elapsed returns wall-clock seconds since the run started, the engine's
-// series time base.
+// elapsed returns wall-clock seconds since the master started, the
+// engine's series time base.
 func (m *master) elapsed() float64 { return time.Since(m.start).Seconds() }
 
-func newMaster(c *Cluster, job Job) *master {
+func newMaster(c *Cluster) *master {
 	m := &master{
 		c:        c,
-		job:      job,
 		events:   make(chan masterEvent, 4*len(c.workers)+16),
 		hb:       make(chan int, 4*len(c.workers)+16),
 		lastBeat: make([]time.Time, len(c.workers)),
-		results:  make(map[string]string),
+		start:    time.Now(),
 	}
-	for i := range job.Inputs {
-		m.maps = append(m.maps, &taskState{id: i})
-	}
-	for i := 0; i < job.Reduces; i++ {
-		m.reduces = append(m.reduces, &taskState{id: i, isReduce: true})
-	}
+	m.queue = sched.NewQueue(c.cfg.policy(), nil)
 	if mc := c.cfg.Metrics; mc != nil {
 		m.mMapAttempts = mc.TimedCounter(metrics.LayerEngine, "map_attempts", "")
 		m.mRedAttempts = mc.TimedCounter(metrics.LayerEngine, "reduce_attempts", "")
@@ -97,42 +157,43 @@ func newMaster(c *Cluster, job Job) *master {
 		m.mReexecs = mc.TimedCounter(metrics.LayerEngine, "map_reexecs", "")
 		m.mFetchFails = mc.TimedCounter(metrics.LayerEngine, "fetch_failures", "")
 		m.mFrozenChecks = mc.Counter(metrics.LayerEngine, "frozen_tasks_detected", "")
+		m.mRunningJobs = mc.SampleSeries(metrics.LayerEngine, "running_jobs", "")
+		m.mMapDur = mc.Histogram(metrics.LayerEngine, "task_duration_seconds", "map")
+		m.mReduceDur = mc.Histogram(metrics.LayerEngine, "task_duration_seconds", "reduce")
 	}
 	return m
 }
 
-func (m *master) run(ctx context.Context) (map[string]string, Stats, error) {
+// run is the persistent master loop: it serves submissions, worker events
+// and heartbeats until the cluster closes, then fails every unfinished
+// handle.
+func (m *master) run() {
+	defer close(m.c.masterDone)
 	now := time.Now()
-	m.start = now
 	for i, w := range m.c.workers {
 		m.lastBeat[i] = now
-		w.clearStore()
 		w.attachHeartbeat(m.hb)
 	}
-	defer func() {
-		for _, w := range m.c.workers {
-			w.attachHeartbeat(nil)
-		}
-	}()
-
 	check := time.NewTicker(m.c.cfg.SuspensionTimeout / 2)
 	defer check.Stop()
 
-	m.schedule()
 	for {
 		select {
-		case <-ctx.Done():
-			return nil, m.stats, ctx.Err()
 		case <-m.c.closed:
-			return nil, m.stats, fmt.Errorf("engine: cluster closed")
+			m.failUnfinished(errors.New("engine: cluster closed"))
+			return
+		case req := <-m.c.submits:
+			req.reply <- m.submit(req.job)
+			m.schedule()
+		case reply := <-m.c.drains:
+			m.drainWaiters = append(m.drainWaiters, reply)
+			m.notifyDrained()
 		case id := <-m.hb:
 			m.lastBeat[id] = time.Now()
 		case ev := <-m.events:
 			m.handle(ev)
-			if m.finished() {
-				return m.results, m.stats, nil
-			}
 			m.schedule()
+			m.notifyDrained()
 		case <-check.C:
 			m.checkFrozen()
 			m.schedule()
@@ -140,13 +201,62 @@ func (m *master) run(ctx context.Context) (map[string]string, Stats, error) {
 	}
 }
 
-func (m *master) finished() bool {
-	for _, t := range m.reduces {
-		if !t.done {
-			return false
+// notifyDrained releases Drain callers once every job has finished and
+// retired its last attempt.
+func (m *master) notifyDrained() {
+	if len(m.drainWaiters) == 0 {
+		return
+	}
+	for _, j := range m.queue.Jobs() {
+		if !j.finished || j.attempts.Live != 0 {
+			return
 		}
 	}
-	return true
+	for _, reply := range m.drainWaiters {
+		close(reply)
+	}
+	m.drainWaiters = nil
+}
+
+// submit enqueues one job (duplicate live names rejected by the shared
+// queue) and returns its handle.
+func (m *master) submit(job Job) submitResp {
+	j := &liveJob{
+		id:          m.nextJobID,
+		spec:        job,
+		results:     make(map[string]string),
+		submittedAt: time.Now(),
+		handle:      &JobHandle{name: job.Name, done: make(chan struct{})},
+	}
+	for i := range job.Inputs {
+		j.maps = append(j.maps, &taskState{id: i})
+	}
+	for i := 0; i < job.Reduces; i++ {
+		j.reduces = append(j.reduces, &taskState{id: i, isReduce: true})
+	}
+	if err := m.queue.Submit(j); err != nil {
+		return submitResp{err: fmt.Errorf("engine: %w", err)}
+	}
+	m.nextJobID++
+	if mc := m.c.cfg.Metrics; mc != nil {
+		j.mQueueWait = mc.Gauge(metrics.LayerEngine, "queue_wait_seconds", job.Name)
+		j.mMakespan = mc.Gauge(metrics.LayerEngine, "makespan_seconds", job.Name)
+	}
+	m.mRunningJobs.Observe(m.elapsed(), float64(m.queue.Running()))
+	return submitResp{h: j.handle}
+}
+
+// failUnfinished completes every unfinished handle with err (cluster
+// closure).
+func (m *master) failUnfinished(err error) {
+	for _, j := range m.queue.Jobs() {
+		if j.finished {
+			continue
+		}
+		j.finished = true
+		j.handle.err = err
+		close(j.handle.done)
+	}
 }
 
 // live reports whether a worker heartbeated recently (dedicated workers are
@@ -158,14 +268,46 @@ func (m *master) live(worker int) bool {
 	return time.Since(m.lastBeat[worker]) < m.c.cfg.SuspensionTimeout
 }
 
-// idleWorkers returns live workers with no outstanding attempt, dedicated
-// last so original copies prefer the volatile pool (dedicated capacity is
-// reserved for backups, the MOON hybrid policy).
+// refreshInactive recounts, per running job, the outstanding attempts
+// sitting on silent workers — the shared accounting's Inactive side, so
+// fair-share ranks by *active* attempts only (a churn-stalled job is not
+// deprioritized for the backups that would unfreeze it). Live is
+// maintained incrementally at launch/retire.
+func (m *master) refreshInactive() {
+	// Finished jobs are recounted too: their outstanding lists drain as
+	// late events arrive, and the count must drain with them so the
+	// accounting ends balanced.
+	for _, j := range m.queue.Jobs() {
+		inactive := 0
+		for _, tasks := range [2][]*taskState{j.maps, j.reduces} {
+			for _, t := range tasks {
+				for _, ref := range t.outstanding {
+					if !m.live(ref.worker) {
+						inactive++
+					}
+				}
+			}
+		}
+		j.attempts.Inactive = inactive
+	}
+}
+
+// idleWorkers returns live workers with no outstanding attempt of any
+// job — finished jobs included: a straggler copy of an already-decided
+// task still occupies its worker until it retires, and booking new work
+// behind it would invisibly stall that work for the straggler's whole
+// remaining runtime. Dedicated workers sort last so original copies
+// prefer the volatile pool (dedicated capacity is reserved for backups,
+// the MOON hybrid policy).
 func (m *master) idleWorkers() []int {
 	busy := make(map[int]bool)
-	for _, t := range append(append([]*taskState(nil), m.maps...), m.reduces...) {
-		for _, ref := range t.outstanding {
-			busy[ref.worker] = true
+	for _, j := range m.queue.Jobs() {
+		for _, tasks := range [2][]*taskState{j.maps, j.reduces} {
+			for _, t := range tasks {
+				for _, ref := range t.outstanding {
+					busy[ref.worker] = true
+				}
+			}
 		}
 	}
 	var vol, ded []int
@@ -182,96 +324,109 @@ func (m *master) idleWorkers() []int {
 	return append(vol, ded...)
 }
 
-// schedule assigns pending tasks to idle workers: maps first, then (once
-// all maps are done) reduces.
+// schedule offers every idle worker to the jobs in policy order: pending
+// maps first (any job), then pending reduces of jobs whose map phase is
+// complete. The order is recomputed per offer — a launch changes the live
+// counts fair-share ranks by, exactly like the simulator's per-offer
+// reordering.
 func (m *master) schedule() {
-	idle := m.idleWorkers()
-	next := 0
-	take := func() (int, bool) {
-		if next >= len(idle) {
-			return 0, false
+	m.refreshInactive()
+	for _, w := range m.idleWorkers() {
+		if !m.offer(w) {
+			return // nothing pending anywhere; later workers see the same
 		}
-		w := idle[next]
-		next++
-		return w, true
-	}
-	for _, t := range m.maps {
-		if t.done || len(t.outstanding) > 0 {
-			continue
-		}
-		w, ok := take()
-		if !ok {
-			return
-		}
-		m.launchMap(t, w)
-	}
-	if !m.allMapsDone() {
-		return
-	}
-	for _, t := range m.reduces {
-		if t.done || len(t.outstanding) > 0 {
-			continue
-		}
-		w, ok := take()
-		if !ok {
-			return
-		}
-		m.launchReduce(t, w)
 	}
 }
 
-func (m *master) allMapsDone() bool {
-	for _, t := range m.maps {
-		if !t.done {
-			return false
+// offer hands one idle worker to the first job in policy order with an
+// eligible task — that job's pending maps first, its reduces once every
+// map is done. Policy rank dominates across phases: a high-ranked job's
+// reduces are not starved by a lower-ranked job's map backlog (FIFO
+// serializes whole jobs, strict priority really owns every offer). A job
+// whose maps are all in flight but not done cannot use the slot and
+// passes it down the order, so arbitration stays work-conserving.
+func (m *master) offer(w int) bool {
+	for _, j := range m.queue.Order() {
+		for _, t := range j.maps {
+			if !t.done && len(t.outstanding) == 0 {
+				m.launchMap(j, t, w)
+				return true
+			}
+		}
+		if !j.allMapsDone() {
+			continue
+		}
+		for _, t := range j.reduces {
+			if !t.done && len(t.outstanding) == 0 {
+				m.launchReduce(j, t, w)
+				return true
+			}
 		}
 	}
-	return true
+	return false
 }
 
 // checkFrozen issues backup copies for tasks whose every outstanding
-// attempt sits on a silent worker.
+// attempt sits on a silent worker, across all running jobs in policy
+// order (frozen tasks of a high-ranked job win the spare workers first).
 func (m *master) checkFrozen() {
-	for _, t := range append(append([]*taskState(nil), m.maps...), m.reduces...) {
-		if t.done || len(t.outstanding) == 0 {
-			continue
-		}
-		anyLive := false
-		for _, ref := range t.outstanding {
-			if m.live(ref.worker) {
-				anyLive = true
-				break
+	m.refreshInactive()
+	for _, j := range m.queue.Order() {
+		for _, tasks := range [2][]*taskState{j.maps, j.reduces} {
+			for _, t := range tasks {
+				if t.done || len(t.outstanding) == 0 {
+					continue
+				}
+				anyLive := false
+				for _, ref := range t.outstanding {
+					if m.live(ref.worker) {
+						anyLive = true
+						break
+					}
+				}
+				if anyLive {
+					continue
+				}
+				// Frozen: place a backup, preferring dedicated workers.
+				idle := m.idleWorkers()
+				if len(idle) == 0 {
+					return
+				}
+				target := idle[len(idle)-1] // dedicated sort last in idleWorkers
+				j.stats.BackupCopies++
+				m.mBackups.IncAt(m.elapsed())
+				m.mFrozenChecks.Inc()
+				if t.isReduce {
+					m.launchReduce(j, t, target)
+				} else {
+					m.launchMap(j, t, target)
+				}
 			}
 		}
-		if anyLive {
-			continue
-		}
-		// Frozen: place a backup, preferring dedicated workers.
-		idle := m.idleWorkers()
-		if len(idle) == 0 {
-			continue
-		}
-		target := idle[len(idle)-1] // dedicated sort last in idleWorkers
-		m.stats.BackupCopies++
-		m.mBackups.IncAt(m.elapsed())
-		m.mFrozenChecks.Inc()
-		if t.isReduce {
-			m.launchReduce(t, target)
-		} else {
-			m.launchMap(t, target)
-		}
+	}
+}
+
+// noteLaunch updates the job's accounting for one new attempt; the first
+// launch of the whole job ends its queue wait.
+func (m *master) noteLaunch(j *liveJob) {
+	j.attempts.Live++
+	if !j.launched {
+		j.launched = true
+		j.launchedAt = time.Now()
+		j.mQueueWait.Set(j.launchedAt.Sub(j.submittedAt).Seconds())
 	}
 }
 
 // launchMap sends a map attempt to a worker.
-func (m *master) launchMap(t *taskState, workerID int) {
+func (m *master) launchMap(j *liveJob, t *taskState, workerID int) {
 	attempt := t.nextAttempt
 	t.nextAttempt++
-	t.outstanding = append(t.outstanding, attemptRef{attempt: attempt, worker: workerID})
-	m.stats.MapAttempts++
+	t.outstanding = append(t.outstanding, attemptRef{attempt: attempt, worker: workerID, started: time.Now()})
+	m.noteLaunch(j)
+	j.stats.MapAttempts++
 	m.mMapAttempts.IncAt(m.elapsed())
-	input := m.job.Inputs[t.id]
-	job := m.job
+	input := j.spec.Inputs[t.id]
+	job := j.spec
 	cfg := m.c.cfg
 	var dedicatedStore *worker
 	if cfg.ReplicateToDedicated {
@@ -283,6 +438,9 @@ func (m *master) launchMap(t *taskState, workerID int) {
 		}
 	}
 	events := m.events
+	closed := m.c.closed
+	lj := j
+	jobID := j.id
 	mapID := t.id
 	m.c.workers[workerID].tasks <- task{run: func(w *worker) {
 		parts := make([]map[string][]string, job.Reduces)
@@ -297,39 +455,46 @@ func (m *master) launchMap(t *taskState, workerID int) {
 		w.gate.wait()
 		holders := []int{w.id}
 		for p, data := range parts {
-			w.putPartition(mapID, attempt, p, data)
+			w.putPartition(jobID, mapID, attempt, p, data)
 			if dedicatedStore != nil && dedicatedStore != w {
-				dedicatedStore.putPartition(mapID, attempt, p, data)
+				dedicatedStore.putPartition(jobID, mapID, attempt, p, data)
 			}
 		}
 		if dedicatedStore != nil && dedicatedStore.id != w.id {
 			holders = append(holders, dedicatedStore.id)
 		}
-		events <- masterEvent{kind: evMapDone, taskID: mapID, attempt: attempt, worker: w.id, holders: holders}
+		select {
+		case events <- masterEvent{kind: evMapDone, job: lj, taskID: mapID, attempt: attempt, worker: w.id, holders: holders}:
+		case <-closed:
+		}
 	}}
 }
 
-// launchReduce sends a reduce attempt with a snapshot of the winning map
-// attempts and their holders.
-func (m *master) launchReduce(t *taskState, workerID int) {
+// launchReduce sends a reduce attempt with a snapshot of the job's winning
+// map attempts and their holders.
+func (m *master) launchReduce(j *liveJob, t *taskState, workerID int) {
 	attempt := t.nextAttempt
 	t.nextAttempt++
-	t.outstanding = append(t.outstanding, attemptRef{attempt: attempt, worker: workerID})
-	m.stats.ReduceAttempts++
+	t.outstanding = append(t.outstanding, attemptRef{attempt: attempt, worker: workerID, started: time.Now()})
+	m.noteLaunch(j)
+	j.stats.ReduceAttempts++
 	m.mRedAttempts.IncAt(m.elapsed())
 
 	type source struct {
 		mapID, attempt int
 		holders        []int
 	}
-	plan := make([]source, 0, len(m.maps))
-	for _, mt := range m.maps {
+	plan := make([]source, 0, len(j.maps))
+	for _, mt := range j.maps {
 		plan = append(plan, source{mapID: mt.id, attempt: mt.winAttempt, holders: append([]int(nil), mt.holders...)})
 	}
-	job := m.job
+	job := j.spec
 	cfg := m.c.cfg
 	events := m.events
+	closed := m.c.closed
 	workers := m.c.workers
+	lj := j
+	jobID := j.id
 	partition := t.id
 	reduceID := t.id
 	m.c.workers[workerID].tasks <- task{run: func(w *worker) {
@@ -342,7 +507,7 @@ func (m *master) launchReduce(t *taskState, workerID int) {
 			for _, h := range src.holders {
 				if h == w.id {
 					w.storeMu.Lock()
-					d, ok := w.store[storeKey{src.mapID, src.attempt, partition}]
+					d, ok := w.store[storeKey{jobID, src.mapID, src.attempt, partition}]
 					w.storeMu.Unlock()
 					if ok {
 						data, got = d, true
@@ -352,7 +517,7 @@ func (m *master) launchReduce(t *taskState, workerID int) {
 				}
 				reply := make(chan fetchResp, 1)
 				select {
-				case workers[h].fetches <- fetchReq{mapID: src.mapID, attempt: src.attempt, partition: partition, reply: reply}:
+				case workers[h].fetches <- fetchReq{job: jobID, mapID: src.mapID, attempt: src.attempt, partition: partition, reply: reply}:
 				default:
 					continue // holder's queue jammed; try next
 				}
@@ -376,7 +541,10 @@ func (m *master) launchReduce(t *taskState, workerID int) {
 			}
 		}
 		if len(missing) > 0 {
-			events <- masterEvent{kind: evReduceStuck, taskID: reduceID, attempt: attempt, worker: w.id, missing: missing}
+			select {
+			case events <- masterEvent{kind: evReduceStuck, job: lj, taskID: reduceID, attempt: attempt, worker: w.id, missing: missing}:
+			case <-closed:
+			}
 			return
 		}
 		out := make(map[string]string, len(merged))
@@ -384,59 +552,142 @@ func (m *master) launchReduce(t *taskState, workerID int) {
 			w.gate.wait()
 			out[k] = job.Reduce(k, merged[k])
 		}
-		events <- masterEvent{kind: evReduceDone, taskID: reduceID, attempt: attempt, worker: w.id, output: out}
+		select {
+		case events <- masterEvent{kind: evReduceDone, job: lj, taskID: reduceID, attempt: attempt, worker: w.id, output: out}:
+		case <-closed:
+		}
 	}}
 }
 
 // handle integrates one worker event.
 func (m *master) handle(ev masterEvent) {
+	j := ev.job
+	if j.cleared {
+		// Every launched attempt reports exactly once and clearing waits
+		// for the last retire, so this cannot fire — but a cleared job's
+		// task slices are released, so never index into them.
+		return
+	}
 	switch ev.kind {
 	case evMapDone:
-		t := m.maps[ev.taskID]
-		t.removeOutstanding(ev.attempt)
-		if t.done {
-			return // a sibling already won
+		t := j.maps[ev.taskID]
+		ref, ok := m.retire(j, t, ev.attempt)
+		if t.done || j.finished {
+			return // a sibling already won, or the job completed elsewhere
 		}
 		t.done = true
 		t.winAttempt = ev.attempt
 		t.holders = ev.holders
+		if ok {
+			m.mMapDur.Observe(time.Since(ref.started).Seconds())
+		}
 	case evReduceDone:
-		t := m.reduces[ev.taskID]
-		t.removeOutstanding(ev.attempt)
-		if t.done {
+		t := j.reduces[ev.taskID]
+		ref, ok := m.retire(j, t, ev.attempt)
+		if t.done || j.finished {
 			return
 		}
 		t.done = true
 		for k, v := range ev.output {
-			m.results[k] = v
+			j.results[k] = v
+		}
+		if ok {
+			m.mReduceDur.Observe(time.Since(ref.started).Seconds())
+		}
+		if j.allReducesDone() {
+			m.finishJob(j)
 		}
 	case evReduceStuck:
-		t := m.reduces[ev.taskID]
-		t.removeOutstanding(ev.attempt)
-		m.stats.FetchFailures += len(ev.missing)
+		t := j.reduces[ev.taskID]
+		m.retire(j, t, ev.attempt)
+		j.stats.FetchFailures += len(ev.missing)
 		m.mFetchFails.AddAt(m.elapsed(), float64(len(ev.missing)))
-		if t.done {
+		if t.done || j.finished {
 			return
 		}
 		// Re-execute the unreachable maps, then let scheduling relaunch
 		// the reduce.
 		for _, mapID := range ev.missing {
-			mt := m.maps[mapID]
+			mt := j.maps[mapID]
 			if mt.done {
 				mt.done = false
 				mt.holders = nil
-				m.stats.MapReexecs++
+				j.stats.MapReexecs++
 				m.mReexecs.IncAt(m.elapsed())
 			}
 		}
 	}
 }
 
-func (t *taskState) removeOutstanding(attempt int) {
+// retire removes one outstanding attempt and balances the job's live
+// count; once a finished job's last attempt drains, its intermediate
+// stores are released.
+func (m *master) retire(j *liveJob, t *taskState, attempt int) (attemptRef, bool) {
+	ref, ok := t.removeOutstanding(attempt)
+	if ok {
+		j.attempts.Live--
+		if j.finished && j.attempts.Live == 0 {
+			m.clearJob(j)
+		}
+	}
+	return ref, ok
+}
+
+// finishJob completes a job: profile, per-job gauges, handle, and — once
+// no attempt is still in flight — intermediate-store cleanup.
+func (m *master) finishJob(j *liveJob) {
+	j.finished = true
+	now := time.Now()
+	prof := JobProfile{
+		Job:       j.spec.Name,
+		Priority:  j.spec.Priority,
+		QueueWait: j.launchedAt.Sub(j.submittedAt),
+		Makespan:  now.Sub(j.submittedAt),
+		Stats:     j.stats,
+	}
+	j.mQueueWait.Set(prof.QueueWait.Seconds())
+	j.mMakespan.Set(prof.Makespan.Seconds())
+	m.mRunningJobs.Observe(m.elapsed(), float64(m.queue.Running()))
+	h := j.handle
+	h.results = j.results
+	h.profile = prof
+	close(h.done)
+	if j.attempts.Live == 0 {
+		m.clearJob(j)
+	}
+}
+
+// clearJob drops the job's intermediate data from every worker store and
+// releases its heavy master-side state: the results map lives on the
+// handle, and with no attempt in flight (Live == 0) the task records are
+// dead. The cluster is long-lived, so without this every finished job
+// would pin its task states and results for the cluster's lifetime. The
+// liveJob shell itself stays queued — Jobs() remains the audit surface
+// and duplicate-name checks skip terminal jobs anyway.
+func (m *master) clearJob(j *liveJob) {
+	if j.cleared {
+		return
+	}
+	j.cleared = true
+	for _, w := range m.c.workers {
+		w.clearJob(j.id)
+	}
+	j.results = nil
+	j.maps = nil
+	j.reduces = nil
+	// The spec's Inputs corpus and user closures are the heaviest state of
+	// all; only Name (duplicate-name scans) and Priority (profile) stay.
+	j.spec.Inputs = nil
+	j.spec.Map = nil
+	j.spec.Reduce = nil
+}
+
+func (t *taskState) removeOutstanding(attempt int) (attemptRef, bool) {
 	for i, ref := range t.outstanding {
 		if ref.attempt == attempt {
 			t.outstanding = append(t.outstanding[:i], t.outstanding[i+1:]...)
-			return
+			return ref, true
 		}
 	}
+	return attemptRef{}, false
 }

@@ -52,8 +52,9 @@ type task struct {
 	run func(w *worker)
 }
 
-// fetchReq asks a worker for one map output partition.
+// fetchReq asks a worker for one map output partition of one job.
 type fetchReq struct {
+	job       int
 	mapID     int
 	attempt   int
 	partition int
@@ -77,9 +78,10 @@ type worker struct {
 	tasks   chan task
 	fetches chan fetchReq
 
-	// store holds map outputs: (mapID, attempt, partition) → key→values.
-	// Guarded by storeMu: the master's replication path writes dedicated
-	// copies from other goroutines.
+	// store holds map outputs: (job, mapID, attempt, partition) →
+	// key→values — job-scoped so concurrent jobs never collide. Guarded
+	// by storeMu: the master's replication path writes dedicated copies
+	// from other goroutines.
 	storeMu sync.Mutex
 	store   map[storeKey]map[string][]string
 
@@ -90,7 +92,7 @@ type worker struct {
 }
 
 type storeKey struct {
-	mapID, attempt, partition int
+	job, mapID, attempt, partition int
 }
 
 func newWorker(id int, dedicated bool, cfg Config) *worker {
@@ -155,7 +157,7 @@ func (w *worker) serveFetches(closed chan struct{}) {
 		case req := <-w.fetches:
 			w.gate.wait() // suspended workers serve nothing
 			w.storeMu.Lock()
-			data, ok := w.store[storeKey{req.mapID, req.attempt, req.partition}]
+			data, ok := w.store[storeKey{req.job, req.mapID, req.attempt, req.partition}]
 			w.storeMu.Unlock()
 			select {
 			case req.reply <- fetchResp{ok: ok, data: data}:
@@ -166,15 +168,20 @@ func (w *worker) serveFetches(closed chan struct{}) {
 }
 
 // putPartition stores one partition of a map attempt's output.
-func (w *worker) putPartition(mapID, attempt, partition int, data map[string][]string) {
+func (w *worker) putPartition(job, mapID, attempt, partition int, data map[string][]string) {
 	w.storeMu.Lock()
-	w.store[storeKey{mapID, attempt, partition}] = data
+	w.store[storeKey{job, mapID, attempt, partition}] = data
 	w.storeMu.Unlock()
 }
 
-// clearStore drops all intermediate data (between jobs).
-func (w *worker) clearStore() {
+// clearJob drops one finished job's intermediate data (concurrent jobs
+// keep theirs: the store is job-scoped).
+func (w *worker) clearJob(job int) {
 	w.storeMu.Lock()
-	w.store = make(map[storeKey]map[string][]string)
+	for k := range w.store {
+		if k.job == job {
+			delete(w.store, k)
+		}
+	}
 	w.storeMu.Unlock()
 }

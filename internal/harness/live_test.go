@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestRunLiveSweepEndToEnd drives the live goroutine engine through the
+// shared sweep harness: (policy × rate × seed) cells on the fanOut pool,
+// trace-compressed churn per cell, per-job profiles aggregated into
+// LiveStats, and engine-layer metrics merged per cell.
+func TestRunLiveSweepEndToEnd(t *testing.T) {
+	lc := DefaultLiveConfig()
+	lc.HorizonSeconds = 60
+	lc.Jobs = 3
+	lc.SplitsPerJob = 5
+	lc.WordsPerSplit = 120
+	lc.ReducesPerJob = 2
+	lc.Timeout = 45 * time.Second
+
+	cfg := Config{Seeds: []uint64{1, 2}, Rates: []float64{0.3}, MetricsBucket: 1}
+	var lines []string
+	cfg.Progress = func(s string) { lines = append(lines, s) }
+
+	sw, err := cfg.RunLiveSweep("live smoke", lc, LiveVariants([]string{"fifo", "fair"}, nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Variants) != 2 || sw.Variants[0] != "live-fifo" || sw.Variants[1] != "live-fair" {
+		t.Fatalf("variants %v", sw.Variants)
+	}
+	for _, v := range sw.Variants {
+		st := sw.Get(v, 0.3)
+		if st.Runs != 2 {
+			t.Fatalf("%s merged %d runs, want 2", v, st.Runs)
+		}
+		if st.Completed != float64(lc.Jobs) {
+			t.Fatalf("%s completed %v of %d jobs", v, st.Completed, lc.Jobs)
+		}
+		if len(st.JobMakespans) != lc.Jobs || len(st.JobQueueWaits) != lc.Jobs {
+			t.Fatalf("%s per-job profiles: %d makespans, %d waits", v, len(st.JobMakespans), len(st.JobQueueWaits))
+		}
+		for i, mk := range st.JobMakespans {
+			if mk <= 0 {
+				t.Errorf("%s job %d makespan %v", v, i, mk)
+			}
+			if st.JobQueueWaits[i] < 0 || st.JobQueueWaits[i] > mk {
+				t.Errorf("%s job %d queue wait %v vs makespan %v", v, i, st.JobQueueWaits[i], mk)
+			}
+		}
+		if st.MapAttempts < float64(lc.Jobs*lc.SplitsPerJob) {
+			t.Errorf("%s map attempts %v below input count", v, st.MapAttempts)
+		}
+
+		// Engine-layer metrics merged per cell: fleet counters, per-job
+		// gauges, and the task-duration histogram.
+		snap := sw.Metrics[v][0.3]
+		var sawAttempts, sawGauge, sawHist bool
+		for _, c := range snap.Counters {
+			if c.Layer == string(metrics.LayerEngine) && c.Name == "map_attempts" && c.Value > 0 {
+				sawAttempts = true
+			}
+		}
+		for _, g := range snap.Gauges {
+			if g.Layer == string(metrics.LayerEngine) && g.Name == "makespan_seconds" {
+				sawGauge = true
+			}
+		}
+		for _, h := range snap.Histograms {
+			if h.Layer == string(metrics.LayerEngine) && h.Name == "task_duration_seconds" && h.Count > 0 {
+				sawHist = true
+			}
+		}
+		if !sawAttempts || !sawGauge || !sawHist {
+			t.Errorf("%s metrics incomplete: counters=%v gauges=%v histograms=%v", v, sawAttempts, sawGauge, sawHist)
+		}
+	}
+	// Progress lines arrive in serial cell order.
+	if len(lines) != 4 {
+		t.Fatalf("progress lines %d, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "live-fifo") || !strings.HasPrefix(lines[2], "live-fair") {
+		t.Fatalf("progress order: %v", lines)
+	}
+
+	// Render produces the matrix without error.
+	var sb strings.Builder
+	if err := sw.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "live-fifo") || !strings.Contains(sb.String(), "per-job makespan") {
+		t.Fatalf("render output:\n%s", sb.String())
+	}
+}
+
+// TestLiveVariantsDefaultsAndSelectors: the default comparison is
+// fifo vs fair; weights and priorities attach only to their policies.
+func TestLiveVariantsDefaultsAndSelectors(t *testing.T) {
+	def := LiveVariants(nil, nil, nil)
+	if len(def) != 2 || def[0].Policy != "fifo" || def[1].Policy != "fair" {
+		t.Fatalf("default variants %+v", def)
+	}
+	w := map[string]float64{"live-j0": 3}
+	p := map[string]int{"live-j1": 9}
+	vs := LiveVariants([]string{"weighted", "priority", "fifo"}, w, p)
+	if vs[0].Weights == nil || vs[0].Priorities != nil {
+		t.Fatalf("weighted variant %+v", vs[0])
+	}
+	if vs[1].Priorities == nil || vs[1].Weights != nil {
+		t.Fatalf("priority variant %+v", vs[1])
+	}
+	if vs[2].Weights != nil || vs[2].Priorities != nil {
+		t.Fatalf("fifo variant %+v", vs[2])
+	}
+
+	// Alias spellings canonicalize and still carry their selectors — a
+	// "strict-priority" line must not silently run with everyone at rank 0.
+	alias := LiveVariants([]string{"weighted-fair", "strict-priority"}, w, p)
+	if alias[0].Policy != "weighted" || alias[0].Weights == nil {
+		t.Fatalf("weighted alias dropped weights: %+v", alias[0])
+	}
+	if alias[1].Policy != "priority" || alias[1].Priorities == nil {
+		t.Fatalf("priority alias dropped priorities: %+v", alias[1])
+	}
+	if alias[1].Label != "live-priority" {
+		t.Fatalf("alias label %q", alias[1].Label)
+	}
+}

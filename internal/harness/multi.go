@@ -199,18 +199,23 @@ type ArrivalSpec struct {
 	Interval float64
 	// Seed drives the Poisson offset draws (independent of churn seeds).
 	Seed uint64
+	// Priorities are per-job-name strict-priority ranks applied to the
+	// derived stream (read by the "priority" arbitration policy only).
+	Priorities map[string]int
 }
 
 // Stream derives the n-job workload for the arrival process.
 func (a ArrivalSpec) Stream(base workload.Spec, n int) workload.MultiSpec {
+	var m workload.MultiSpec
 	switch a.Process {
 	case "", "staggered":
-		return workload.Staggered(base, n, a.Interval)
+		m = workload.Staggered(base, n, a.Interval)
 	case "poisson":
-		return workload.PoissonArrivals(base, n, a.Interval, a.Seed)
+		m = workload.PoissonArrivals(base, n, a.Interval, a.Seed)
 	default:
 		panic(fmt.Sprintf("harness: unknown arrival process %q", a.Process))
 	}
+	return workload.WithPriorities(m, a.Priorities)
 }
 
 // MultiVariants are the lines of the multi-job experiment: one identical

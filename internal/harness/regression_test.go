@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/mapred"
 	"repro/internal/metrics"
 )
 
@@ -52,6 +53,57 @@ func TestSingleJobRunStatsUnchanged(t *testing.T) {
 		}
 		if st.KilledMaps != g.killedMaps {
 			t.Errorf("%s/%v killed maps %v, want %v", g.variant, g.rate, st.KilledMaps, g.killedMaps)
+		}
+		if st.Capped != g.capped {
+			t.Errorf("%s/%v capped %v, want %v", g.variant, g.rate, st.Capped, g.capped)
+		}
+	}
+}
+
+// TestMultiJobPolicySweepUnchanged pins the multi-job sweep to bit-exact
+// golden values captured before the scheduling core was extracted into
+// internal/sched (the JobTracker delegating queueing and slot arbitration
+// to the shared package). FIFO, fair-share and weighted-fair must each
+// reproduce the pre-refactor scheduler exactly — any drift here means the
+// extraction changed arbitration decisions, not just their packaging. The
+// configuration (4 jobs, zero stagger, scale 8) saturates the cluster so
+// the three policies genuinely diverge: a vacuous pin that passes under
+// any ordering would not guard the refactor.
+func TestMultiJobPolicySweepUnchanged(t *testing.T) {
+	golden := []struct {
+		variant    string
+		rate       float64
+		span       uint64 // math.Float64bits
+		throughput uint64
+		makespans  []uint64
+		capped     bool
+	}{
+		{"MOON-fifo", 0.3, 0x40704800aaa32088, 0x404c395900eddc6e, []uint64{0x406370022a02282a, 0x406d9003f83afb92, 0x4068e004568c5e2f, 0x406de002217bfa2b}, false},
+		{"MOON-fair", 0.3, 0x4072cf98a9dc52e1, 0x4047ee8e844e9eea, []uint64{0x4072cf98a9dc52e1, 0x406b5003fab3241c, 0x406e2004311791c7, 0x406de001f5d3d38c}, false},
+		{"MOON-weighted", 0.3, 0x40760000541fe1bf, 0x4044f2911a38aeda, []uint64{0x40637002495e75bb, 0x406d9003f8758fa4, 0x4072280223ad3f98, 0x406de001f0b4c94a}, false},
+	}
+
+	cfg := Config{Seeds: []uint64{1, 2}, Scale: 8, Rates: []float64{0.3}}
+	sw, err := cfg.RunMultiSweep("golden-multi", MultiVariants("sort", 4, 0,
+		mapred.FIFO(), mapred.FairShare(), mapred.WeightedFair(map[string]float64{"sleep-sort-j0": 4})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range golden {
+		st := sw.Get(g.variant, g.rate)
+		if got := math.Float64bits(st.Span); got != g.span {
+			t.Errorf("%s/%v span %v (bits %#x), want bits %#x", g.variant, g.rate, st.Span, got, g.span)
+		}
+		if got := math.Float64bits(st.Throughput); got != g.throughput {
+			t.Errorf("%s/%v throughput %v (bits %#x), want bits %#x", g.variant, g.rate, st.Throughput, got, g.throughput)
+		}
+		if len(st.JobMakespans) != len(g.makespans) {
+			t.Fatalf("%s/%v has %d job makespans, want %d", g.variant, g.rate, len(st.JobMakespans), len(g.makespans))
+		}
+		for i, mk := range st.JobMakespans {
+			if got := math.Float64bits(mk); got != g.makespans[i] {
+				t.Errorf("%s/%v job %d makespan %v (bits %#x), want bits %#x", g.variant, g.rate, i, mk, got, g.makespans[i])
+			}
 		}
 		if st.Capped != g.capped {
 			t.Errorf("%s/%v capped %v, want %v", g.variant, g.rate, st.Capped, g.capped)

@@ -7,12 +7,14 @@
 // hybrid-aware placement on dedicated nodes).
 //
 // The JobTracker is multi-tenant: Submit enqueues jobs rather than
-// rejecting concurrent submissions, and a pluggable SchedPolicy (FIFO or
-// fair-share, see policy.go) arbitrates every free execution slot between
-// the running jobs. Per-job state — tasks, fetch-failure reporters, the
-// schedule sequence, commit polling — lives on the Job, so concurrent jobs
-// are fully independent and a single job under FIFO behaves exactly like
-// the historical one-job-at-a-time tracker.
+// rejecting concurrent submissions, and a pluggable SchedPolicy (FIFO,
+// fair-share, weighted-fair or strict-priority — the shared
+// internal/sched policy family, see policy.go) arbitrates every free
+// execution slot between the running jobs. Per-job state — tasks,
+// fetch-failure reporters, the schedule sequence, commit polling — lives
+// on the Job, so concurrent jobs are fully independent and a single job
+// under FIFO behaves exactly like the historical one-job-at-a-time
+// tracker.
 //
 // Tasks are resource models, not user code: a map is "read an input block,
 // compute for S seconds, write I bytes of intermediate data through the
@@ -192,6 +194,12 @@ func (c SchedConfig) Validate() error {
 // JobConfig describes one MapReduce job as a resource model.
 type JobConfig struct {
 	Name string
+
+	// Priority is the job's strict-priority rank (higher wins every slot
+	// offer under the StrictPriority policy; other policies ignore it).
+	// Zero is the default rank, so unprioritized jobs tie and fall back
+	// to submission order.
+	Priority int
 
 	NumMaps    int
 	NumReduces int

@@ -19,7 +19,7 @@ func (jt *JobTracker) launch(t *Task, tt *TaskTracker, speculative bool) *Instan
 			t.job.mQueueWait.Set(jt.sim.Now() - t.job.submittedAt)
 		}
 	}
-	t.job.liveAttempts++
+	t.job.attempts.Live++
 	jt.inst.launches.IncAt(jt.sim.Now())
 	if speculative {
 		t.specLaunches++
@@ -199,9 +199,9 @@ func (jt *JobTracker) startWrite(in *Instance) {
 func (jt *JobTracker) detach(in *Instance) {
 	in.tracker.remove(in)
 	in.task.pruneInstance(in)
-	in.task.job.liveAttempts--
+	in.task.job.attempts.Live--
 	if in.inactive {
-		in.task.job.inactiveAttempts--
+		in.task.job.attempts.Inactive--
 	}
 }
 
@@ -235,12 +235,14 @@ func (jt *JobTracker) completeInstance(in *Instance) {
 		j.mapsCompleted++
 		j.mapTimeSum += now - in.startedAt
 		j.mapTimeCount++
+		jt.inst.mapDur.Observe(now - in.startedAt)
 		j.fetchReporters[t.Index] = nil
 		jt.notifyShuffles(j)
 	} else {
 		j.reducesCompleted++
 		j.reduceTimeSum += now - in.computeStartedAt
 		j.reduceTimeCount++
+		jt.inst.reduceDur.Observe(now - in.startedAt)
 	}
 	// Kill the losing attempts (copy the slice: killing prunes it).
 	for _, other := range append([]*Instance(nil), t.instances...) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/metrics"
+	"repro/internal/sched"
 )
 
 // JobState tracks the lifecycle of a submitted job.
@@ -43,13 +44,13 @@ type Job struct {
 	finishedAt  float64
 	failReason  string
 
-	// liveAttempts counts the job's currently running task instances and
-	// inactiveAttempts the subset stranded on suspended trackers (both
-	// maintained incrementally); fair-share ranks jobs by the active
-	// difference, so a churn-stalled job is not deprioritized for the
-	// backup copies that would unfreeze it.
-	liveAttempts     int
-	inactiveAttempts int
+	// attempts is the shared live-attempt accounting (maintained
+	// incrementally): Live counts the job's currently running task
+	// instances, Inactive the subset stranded on suspended trackers.
+	// Fair-share ranks jobs by the active difference, so a churn-stalled
+	// job is not deprioritized for the backup copies that would unfreeze
+	// it.
+	attempts sched.Attempts
 
 	// scheduleSeq numbers first launches of the job's tasks, used by
 	// Hadoop's speculative selection.
@@ -154,9 +155,17 @@ func (j *Job) Profile() Profile {
 	return p
 }
 
-// activeAttempts counts running attempts not stranded on suspended
-// trackers — the fair-share ranking key.
-func (j *Job) activeAttempts() int { return j.liveAttempts - j.inactiveAttempts }
+// Name returns the job's name — the identity the shared scheduling core
+// (internal/sched) keys duplicate rejection and weight lookups on.
+func (j *Job) Name() string { return j.cfg.Name }
+
+// ActiveAttempts counts running attempts not stranded on suspended
+// trackers — the fair-share ranking key of sched.Policy implementations.
+func (j *Job) ActiveAttempts() int { return j.attempts.Active() }
+
+// Priority is the job's strict-priority rank (JobConfig.Priority); only
+// the sched.StrictPriority policy reads it.
+func (j *Job) Priority() int { return j.cfg.Priority }
 
 // remainingTasks counts incomplete tasks of the job.
 func (j *Job) remainingTasks() int {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/metrics"
 	"repro/internal/netmodel"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -18,8 +19,11 @@ import (
 //
 // The tracker schedules a queue of concurrently running jobs: Submit
 // enqueues (it never rejects a job because another is running), and the
-// configured SchedPolicy — FIFO or fair-share — arbitrates every free slot
-// between the running jobs. All per-job bookkeeping (tasks, fetch-failure
+// configured SchedPolicy — FIFO, fair-share, weighted-fair or
+// strict-priority — arbitrates every free slot between the running jobs.
+// Queueing and arbitration are delegated to the backend-agnostic
+// scheduling core (internal/sched), the same code the live goroutine
+// engine schedules with. All per-job bookkeeping (tasks, fetch-failure
 // reporters, schedule sequence, commit polling) lives on the Job, so jobs
 // are fully independent; with a single submitted job the tracker behaves
 // exactly like the paper's one-job-at-a-time evaluation harness.
@@ -30,23 +34,17 @@ type JobTracker struct {
 	net *netmodel.Network
 	cfg SchedConfig
 
-	policy SchedPolicy
-
 	trackers []*TaskTracker
 	// hybridOrder lists trackers dedicated-first, precomputed once (the
 	// fleet is fixed) so the heartbeat's speculative pass never allocates.
 	hybridOrder []*TaskTracker
 
-	// jobs holds every submitted job in submission order (terminal jobs
-	// included, so callers can read profiles after completion). Policies
-	// receive runnable jobs in this order, so "tie-break by submission
-	// order" falls out of sort stability.
-	jobs []*Job
-
-	// Scratch buffers reused across slot offers so the heartbeat does not
-	// allocate per offer.
-	runnableScratch []*Job
-	orderScratch    []*Job
+	// queue holds every submitted job in submission order (terminal jobs
+	// included, so callers can read profiles after completion) and
+	// computes the policy's slot-offer order with reused scratch.
+	// Policies receive runnable jobs in submission order, so "tie-break
+	// by submission order" falls out of sort stability.
+	queue *sched.Queue[*Job]
 
 	collector *metrics.Collector
 	inst      jtInstruments
@@ -66,6 +64,11 @@ type jtInstruments struct {
 	kills        *metrics.Counter
 	invalidated  *metrics.Counter
 	fetchReports *metrics.Counter
+	// Task-duration distributions (launch → success of each winning
+	// attempt), one histogram per task type — the simulated counterpart
+	// of the live engine's task_duration_seconds.
+	mapDur    *metrics.Histogram
+	reduceDur *metrics.Histogram
 }
 
 // Instrument registers MapReduce-layer observability on c: a sampled
@@ -90,6 +93,8 @@ func (jt *JobTracker) Instrument(c *metrics.Collector) {
 		kills:        c.Counter(metrics.LayerMapred, "attempts_killed", ""),
 		invalidated:  c.Counter(metrics.LayerMapred, "map_output_invalidations", ""),
 		fetchReports: c.TimedCounter(metrics.LayerMapred, "fetch_failure_reports", ""),
+		mapDur:       c.Histogram(metrics.LayerMapred, "task_duration_seconds", "map"),
+		reduceDur:    c.Histogram(metrics.LayerMapred, "task_duration_seconds", "reduce"),
 	}
 }
 
@@ -98,10 +103,10 @@ func NewJobTracker(s *sim.Simulation, cl *cluster.Cluster, fs *dfs.FileSystem, n
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	jt := &JobTracker{sim: s, cl: cl, fs: fs, net: net, cfg: cfg, policy: cfg.JobPolicy}
-	if jt.policy == nil {
-		jt.policy = FIFO()
-	}
+	jt := &JobTracker{sim: s, cl: cl, fs: fs, net: net, cfg: cfg}
+	// The queue arbitrates with the configured policy (nil = FIFO); only
+	// running jobs receive slots (committing jobs occupy no slots).
+	jt.queue = sched.NewQueue(cfg.JobPolicy, func(j *Job) bool { return j.state == JobRunning })
 	for _, n := range cl.Nodes {
 		tt := &TaskTracker{node: n, mapSlots: cfg.MapSlotsPerNode, reduceSlots: cfg.ReduceSlotsPerNode}
 		jt.trackers = append(jt.trackers, tt)
@@ -122,13 +127,6 @@ func (jt *JobTracker) Submit(cfg JobConfig, onDone func(*Job)) (*Job, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	for _, other := range jt.jobs {
-		if !other.Done() && other.cfg.Name == cfg.Name {
-			// Attempt output files are named after the job, so two live
-			// jobs with one name would collide in the DFS.
-			return nil, fmt.Errorf("mapred: job %q is already running", cfg.Name)
-		}
-	}
 	if !jt.fs.Exists(cfg.InputFile) {
 		return nil, fmt.Errorf("mapred: input file %q not staged", cfg.InputFile)
 	}
@@ -144,7 +142,11 @@ func (jt *JobTracker) Submit(cfg JobConfig, onDone func(*Job)) (*Job, error) {
 		j.reduces = append(j.reduces, &Task{Type: ReduceTask, Index: i, job: j})
 	}
 	j.fetchReporters = make([]map[int]bool, cfg.NumMaps)
-	jt.jobs = append(jt.jobs, j)
+	if err := jt.queue.Submit(j); err != nil {
+		// Attempt output files are named after the job, so two live jobs
+		// with one name would collide in the DFS.
+		return nil, fmt.Errorf("mapred: %w", err)
+	}
 	jt.tick() // assign immediately rather than waiting a heartbeat
 	return j, nil
 }
@@ -152,29 +154,22 @@ func (jt *JobTracker) Submit(cfg JobConfig, onDone func(*Job)) (*Job, error) {
 // Job returns the most recently submitted job (may be finished), or nil
 // before the first submission.
 func (jt *JobTracker) Job() *Job {
-	if len(jt.jobs) == 0 {
+	j, ok := jt.queue.Latest()
+	if !ok {
 		return nil
 	}
-	return jt.jobs[len(jt.jobs)-1]
+	return j
 }
 
 // Jobs returns every submitted job in submission order, terminal jobs
 // included (read-only view).
-func (jt *JobTracker) Jobs() []*Job { return jt.jobs }
+func (jt *JobTracker) Jobs() []*Job { return jt.queue.Jobs() }
 
 // RunningJobs counts jobs that have not reached a terminal state.
-func (jt *JobTracker) RunningJobs() int {
-	n := 0
-	for _, j := range jt.jobs {
-		if !j.Done() {
-			n++
-		}
-	}
-	return n
-}
+func (jt *JobTracker) RunningJobs() int { return jt.queue.Running() }
 
 // Policy returns the active slot-arbitration policy.
-func (jt *JobTracker) Policy() SchedPolicy { return jt.policy }
+func (jt *JobTracker) Policy() SchedPolicy { return jt.queue.Policy() }
 
 // --- tracker liveness -------------------------------------------------------
 
@@ -192,7 +187,7 @@ func (jt *JobTracker) trackerChanged(n *cluster.Node, available bool) {
 				for _, in := range tt.running {
 					if !in.inactive {
 						in.inactive = true
-						in.task.job.inactiveAttempts++
+						in.task.job.attempts.Inactive++
 					}
 				}
 			})
@@ -214,7 +209,7 @@ func (jt *JobTracker) trackerChanged(n *cluster.Node, available bool) {
 	for _, in := range tt.running {
 		if in.inactive {
 			in.inactive = false
-			in.task.job.inactiveAttempts--
+			in.task.job.attempts.Inactive--
 		}
 		jt.resumeCompute(in)
 		if in.shuffle != nil && in.phase == phaseShuffle {
@@ -261,7 +256,7 @@ func (jt *JobTracker) speculativeActive(j *Job) int {
 // one job this equals speculativeActive of that job.
 func (jt *JobTracker) speculativeActiveTotal() int {
 	n := 0
-	for _, j := range jt.jobs {
+	for _, j := range jt.queue.Jobs() {
 		if !j.Done() {
 			n += jt.speculativeActive(j)
 		}
@@ -274,17 +269,9 @@ func (jt *JobTracker) speculativeActiveTotal() int {
 // jobOrder returns the schedulable jobs in the policy's slot-offer order.
 // It is recomputed on every offer: fair-share ranks by live attempts,
 // which change with each launch, and a job may fail or start committing
-// mid-tick.
-func (jt *JobTracker) jobOrder() []*Job {
-	jt.runnableScratch = jt.runnableScratch[:0]
-	for _, j := range jt.jobs {
-		if j.state == JobRunning {
-			jt.runnableScratch = append(jt.runnableScratch, j)
-		}
-	}
-	jt.orderScratch = jt.policy.Order(jt.orderScratch[:0], jt.runnableScratch)
-	return jt.orderScratch
-}
+// mid-tick. The queue reuses its scratch, so the heartbeat never
+// allocates per offer.
+func (jt *JobTracker) jobOrder() []*Job { return jt.queue.Order() }
 
 // tick is the heartbeat: fill free slots with pending work, then with
 // speculative copies per policy, across every running job.

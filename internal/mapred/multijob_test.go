@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/dfs"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -57,8 +58,8 @@ func TestTwoOverlappingJobsCompleteUnderChurn(t *testing.T) {
 				if j.State() != JobSucceeded {
 					t.Fatalf("%s: job %s state %v: %s", pol.Name(), j.Config().Name, j.State(), j.FailReason())
 				}
-				if j.liveAttempts != 0 {
-					t.Fatalf("%s: job %s leaked %d live attempts", pol.Name(), j.Config().Name, j.liveAttempts)
+				if !j.attempts.Balanced() {
+					t.Fatalf("%s: job %s leaked attempts %+v", pol.Name(), j.Config().Name, j.attempts)
 				}
 				if p := j.Profile(); p.Makespan <= 0 {
 					t.Fatalf("%s: job %s makespan %v", pol.Name(), j.Config().Name, p.Makespan)
@@ -211,9 +212,9 @@ func TestWeightedFairProportionalSlots(t *testing.T) {
 // submission order; missing weights default to 1, so WeightedFair(nil)
 // orders exactly like FairShare.
 func TestWeightedFairOrder(t *testing.T) {
-	a := &Job{cfg: JobConfig{Name: "a"}, liveAttempts: 6}
-	b := &Job{cfg: JobConfig{Name: "b"}, liveAttempts: 3}
-	c := &Job{cfg: JobConfig{Name: "c"}, liveAttempts: 3}
+	a := &Job{cfg: JobConfig{Name: "a"}, attempts: sched.Attempts{Live: 6}}
+	b := &Job{cfg: JobConfig{Name: "b"}, attempts: sched.Attempts{Live: 3}}
+	c := &Job{cfg: JobConfig{Name: "c"}, attempts: sched.Attempts{Live: 3}}
 	running := []*Job{a, b, c}
 
 	// a runs 6 attempts at weight 3 (ratio 2), b and c run 3 at weight 1
@@ -235,11 +236,60 @@ func TestWeightedFairOrder(t *testing.T) {
 	}
 }
 
+// TestStrictPriorityStarvesLowUntilHighDrains: under strict priority a
+// high-priority job submitted alongside a low-priority one owns every
+// slot offer until its pending work runs out, so the low job makes almost
+// no map progress while the high job's map phase runs — regardless of
+// submission order. Zero-priority ties degenerate to FIFO.
+func TestStrictPriorityStarvesLowUntilHighDrains(t *testing.T) {
+	sched := DefaultSchedConfig(PolicyMOON)
+	sched.JobPolicy = StrictPriority()
+	r := newRig(t, rigOpts{volatiles: 5, dedicated: 1, dfsMode: dfs.ModeMOON, sched: sched})
+	// The *low*-priority job is submitted first: FIFO would hand it the
+	// cluster, strict priority must not.
+	cfgLow, cfgHigh := saturatingJob("prio-low"), saturatingJob("prio-high")
+	cfgHigh.Priority = 5
+	r.stage(t, cfgLow, dfs.Factor{D: 1, V: 2})
+	r.stage(t, cfgHigh, dfs.Factor{D: 1, V: 2})
+	jLow, err := r.jt.Submit(cfgLow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jHigh, err := r.jt.Submit(cfgHigh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowMapsAtHighDone := -1
+	stop := r.s.Ticker(1, "probe", func() {
+		if lowMapsAtHighDone < 0 && jHigh.MapsCompleted() == cfgHigh.NumMaps {
+			lowMapsAtHighDone = jLow.MapsCompleted()
+		}
+	})
+	r.s.RunUntil(1e5)
+	stop()
+	if jLow.State() != JobSucceeded || jHigh.State() != JobSucceeded {
+		t.Fatalf("jobs not both done: %v / %v", jLow.State(), jHigh.State())
+	}
+	if lowMapsAtHighDone < 0 {
+		t.Fatal("high-priority job's map phase never completed")
+	}
+	// The low job holds the slots it won before the high job arrived (no
+	// preemption), but wins no offers afterwards: near-zero progress.
+	if lowMapsAtHighDone > 12 {
+		t.Errorf("low-priority job completed %d maps before the high-priority map phase ended (want starvation)", lowMapsAtHighDone)
+	}
+	if jHigh.FinishedAt() >= jLow.FinishedAt() {
+		t.Errorf("high-priority job finished at %v, after the low-priority job at %v",
+			jHigh.FinishedAt(), jLow.FinishedAt())
+	}
+}
+
 // TestJobPolicyByName covers the flag-value parser.
 func TestJobPolicyByName(t *testing.T) {
 	for name, want := range map[string]string{
 		"fifo": "fifo", "fair": "fair", "fairshare": "fair", "fair-share": "fair",
 		"weighted": "weighted", "wfair": "weighted", "weighted-fair": "weighted",
+		"priority": "priority", "strict-priority": "priority",
 	} {
 		p, err := JobPolicyByName(name)
 		if err != nil || p.Name() != want {
@@ -254,9 +304,9 @@ func TestJobPolicyByName(t *testing.T) {
 // TestFairShareOrder: the policy ranks by live attempts with submission
 // order breaking ties, without touching the input slice.
 func TestFairShareOrder(t *testing.T) {
-	a := &Job{liveAttempts: 3}
-	b := &Job{liveAttempts: 1}
-	c := &Job{liveAttempts: 1}
+	a := &Job{attempts: sched.Attempts{Live: 3}}
+	b := &Job{attempts: sched.Attempts{Live: 1}}
+	c := &Job{attempts: sched.Attempts{Live: 1}}
 	running := []*Job{a, b, c}
 	got := FairShare().Order(nil, running)
 	if len(got) != 3 || got[0] != b || got[1] != c || got[2] != a {

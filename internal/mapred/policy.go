@@ -1,37 +1,26 @@
 package mapred
 
-import "fmt"
+import "repro/internal/sched"
 
 // SchedPolicy arbitrates execution slots across concurrently running jobs.
-// On every free-slot offer the JobTracker asks the policy to order the
-// runnable jobs; the first job in the order with an eligible task wins the
-// slot. The order is recomputed per offer, so policies that rank by live
-// usage (fair-share) react to every launch within a heartbeat.
+// It is the shared scheduling core's policy family (internal/sched)
+// instantiated with the simulator's job type: on every free-slot offer the
+// JobTracker asks the policy to order the runnable jobs, and the first job
+// in the order with an eligible task wins the slot. The order is
+// recomputed per offer, so policies that rank by live usage (fair-share,
+// weighted-fair) react to every launch within a heartbeat.
 //
 // Task selection *within* a job is unchanged by the policy: pending tasks
 // prefer input-local placement, speculative copies follow the configured
 // Hadoop/MOON rules, and under MOON-Hybrid the dedicated-first tracker
 // ordering is preserved per job.
-type SchedPolicy interface {
-	// Name is the policy's flag/label spelling ("fifo", "fair").
-	Name() string
-	// Order appends the jobs of running (given in submission order) to
-	// dst in slot-offer order and returns dst. Implementations must not
-	// retain either slice.
-	Order(dst, running []*Job) []*Job
-}
+type SchedPolicy = sched.Policy[*Job]
 
 // FIFO offers every free slot to the earliest-submitted running job first.
 // A later job only receives slots the earlier jobs cannot use (the policy
 // is work-conserving), so saturating jobs execute essentially serially in
 // submission order.
-func FIFO() SchedPolicy { return fifoPolicy{} }
-
-type fifoPolicy struct{}
-
-func (fifoPolicy) Name() string { return "fifo" }
-
-func (fifoPolicy) Order(dst, running []*Job) []*Job { return append(dst, running...) }
+func FIFO() SchedPolicy { return sched.FIFO[*Job]() }
 
 // FairShare splits slots evenly between running jobs: every free slot is
 // offered to the job with the fewest *active* task attempts (attempts
@@ -39,88 +28,34 @@ func (fifoPolicy) Order(dst, running []*Job) []*Job { return append(dst, running
 // the MOON speculative budget ignores inactive copies), breaking ties by
 // submission order. Concurrent jobs therefore make interleaved progress
 // instead of queueing behind the first submission.
-func FairShare() SchedPolicy { return fairSharePolicy{} }
-
-type fairSharePolicy struct{}
-
-func (fairSharePolicy) Name() string { return "fair" }
-
-func (fairSharePolicy) Order(dst, running []*Job) []*Job {
-	dst = append(dst, running...)
-	// Insertion sort: the job count is small and the order barely changes
-	// between consecutive offers. Stability keeps submission order for
-	// ties, which keeps scheduling deterministic.
-	for i := 1; i < len(dst); i++ {
-		j := dst[i]
-		k := i - 1
-		for k >= 0 && dst[k].activeAttempts() > j.activeAttempts() {
-			dst[k+1] = dst[k]
-			k--
-		}
-		dst[k+1] = j
-	}
-	return dst
-}
+func FairShare() SchedPolicy { return sched.FairShare[*Job]() }
 
 // WeightedFair splits slots in proportion to per-job weights: every free
 // slot is offered to the running job with the smallest active-attempts to
 // weight ratio, so a weight-3 job holds three times the slots of a
-// weight-1 competitor at steady state. Ties break by submission order
-// (sort stability), and weights are looked up by job name — a job without
-// an entry (or with a non-positive weight) runs at weight 1, so
-// WeightedFair(nil) degenerates to plain fair-share. Like fair-share, the
-// ratio counts only *active* attempts, so a churn-stalled job is not
-// deprioritized for the backup copies that would unfreeze it.
+// weight-1 competitor at steady state. Ties break by submission order,
+// and weights are looked up by job name — a job without an entry (or with
+// a non-positive weight) runs at weight 1, so WeightedFair(nil)
+// degenerates to plain fair-share.
 func WeightedFair(weights map[string]float64) SchedPolicy {
-	return &weightedFairPolicy{weights: weights}
+	return sched.WeightedFair[*Job](weights)
 }
 
-type weightedFairPolicy struct {
-	weights map[string]float64
-}
-
-func (p *weightedFairPolicy) Name() string { return "weighted" }
-
-func (p *weightedFairPolicy) weight(j *Job) float64 {
-	if w, ok := p.weights[j.cfg.Name]; ok && w > 0 {
-		return w
-	}
-	return 1
-}
-
-func (p *weightedFairPolicy) Order(dst, running []*Job) []*Job {
-	dst = append(dst, running...)
-	// Stable insertion sort, like FairShare: small job counts, near-sorted
-	// input between consecutive offers, and stability gives the
-	// submission-order tie-break.
-	for i := 1; i < len(dst); i++ {
-		j := dst[i]
-		kj := float64(j.activeAttempts()) / p.weight(j)
-		k := i - 1
-		for k >= 0 && float64(dst[k].activeAttempts())/p.weight(dst[k]) > kj {
-			dst[k+1] = dst[k]
-			k--
-		}
-		dst[k+1] = j
-	}
-	return dst
-}
+// StrictPriority offers every free slot to the highest-priority running
+// job first (JobConfig.Priority, higher wins), with submission order
+// breaking ties. There is no preemption: a lower-priority job keeps the
+// attempts it already holds, a higher-priority arrival merely wins every
+// subsequent offer.
+func StrictPriority() SchedPolicy { return sched.StrictPriority[*Job]() }
 
 // JobPolicyNames lists the canonical JobPolicyByName spellings, for flag
 // help and `moonbench -list`.
-func JobPolicyNames() []string { return []string{"fifo", "fair", "weighted"} }
+func JobPolicyNames() []string { return sched.PolicyNames() }
 
-// JobPolicyByName resolves a policy flag value ("fifo", "fair" or
-// "weighted"; flag-configured weighted fair runs with uniform weights —
-// per-job weights are a programmatic API).
+// JobPolicyByName resolves a policy flag value ("fifo", "fair", "weighted"
+// or "priority"; flag-configured weighted fair runs with uniform weights —
+// per-job weights are a programmatic API). Unknown names are a hard error
+// at every entry point; nothing falls back to a default silently.
 func JobPolicyByName(name string) (SchedPolicy, error) {
-	switch name {
-	case "fifo":
-		return FIFO(), nil
-	case "fair", "fairshare", "fair-share":
-		return FairShare(), nil
-	case "weighted", "wfair", "weighted-fair":
-		return WeightedFair(nil), nil
-	}
-	return nil, fmt.Errorf("mapred: unknown job policy %q (want fifo, fair or weighted)", name)
+	return sched.PolicyByName[*Job](name)
 }

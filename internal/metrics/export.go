@@ -57,17 +57,44 @@ type SeriesData struct {
 
 func (s SeriesData) key() Key { return Key{Layer: Layer(s.Layer), Name: s.Name, Scope: s.Scope} }
 
+// HistogramBucket is one non-empty histogram bucket: the count of
+// observations at or below UpperBound (and above the previous bound).
+// Overflow marks the open-ended bucket past the last fixed bound; its
+// UpperBound then reports that last bound.
+type HistogramBucket struct {
+	UpperBound float64 `json:"le"`
+	Overflow   bool    `json:"overflow,omitempty"`
+	Count      int64   `json:"count"`
+}
+
+// HistogramData is one exported distribution over the fixed log-spaced
+// buckets, with its exact sum, count and extremes. Only non-empty buckets
+// are exported, in ascending bound order.
+type HistogramData struct {
+	Layer   string            `json:"layer"`
+	Name    string            `json:"name"`
+	Scope   string            `json:"scope,omitempty"`
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Min     float64           `json:"min"`
+	Max     float64           `json:"max"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+func (h HistogramData) key() Key { return Key{Layer: Layer(h.Layer), Name: h.Name, Scope: h.Scope} }
+
 // Snapshot is one run's (or one merged cell's) full metric state.
 type Snapshot struct {
-	Bucket   float64        `json:"bucket_seconds"`
-	Counters []CounterPoint `json:"counters,omitempty"`
-	Gauges   []GaugePoint   `json:"gauges,omitempty"`
-	Series   []SeriesData   `json:"series,omitempty"`
+	Bucket     float64         `json:"bucket_seconds"`
+	Counters   []CounterPoint  `json:"counters,omitempty"`
+	Gauges     []GaugePoint    `json:"gauges,omitempty"`
+	Series     []SeriesData    `json:"series,omitempty"`
+	Histograms []HistogramData `json:"histograms,omitempty"`
 }
 
 // Empty reports whether the snapshot carries no instruments.
 func (s Snapshot) Empty() bool {
-	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Series) == 0
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Series) == 0 && len(s.Histograms) == 0
 }
 
 // Merge folds repeated runs of one configuration (e.g. the seeds of a sweep
@@ -182,6 +209,73 @@ func Merge(snaps []Snapshot) Snapshot {
 			acc.data.Points = append(acc.data.Points, pt)
 		}
 		out.Series = append(out.Series, acc.data)
+	}
+
+	// Histograms aggregate rather than average: the merged cell reports
+	// the distribution over every observation of every run (bucket counts,
+	// totals and counts summed; min/max the extremes), because "the task-
+	// duration distribution across the cell's seeds" is the question a
+	// histogram answers. Bucket layouts are fixed, so merging is exact.
+	type histAcc struct {
+		data    HistogramData
+		buckets map[float64]*HistogramBucket // keyed by bound; overflow keyed separately
+		over    *HistogramBucket
+		order   []float64
+	}
+	hists := make(map[Key]*histAcc)
+	var hOrder []Key
+	for _, s := range snaps {
+		for _, hd := range s.Histograms {
+			k := hd.key()
+			acc := hists[k]
+			if acc == nil {
+				acc = &histAcc{
+					data: HistogramData{Layer: hd.Layer, Name: hd.Name, Scope: hd.Scope,
+						Min: hd.Min, Max: hd.Max},
+					buckets: make(map[float64]*HistogramBucket),
+				}
+				hists[k] = acc
+				hOrder = append(hOrder, k)
+			}
+			acc.data.Count += hd.Count
+			acc.data.Sum += hd.Sum
+			if hd.Min < acc.data.Min {
+				acc.data.Min = hd.Min
+			}
+			if hd.Max > acc.data.Max {
+				acc.data.Max = hd.Max
+			}
+			for _, b := range hd.Buckets {
+				if b.Overflow {
+					if acc.over == nil {
+						b := b
+						acc.over = &b
+					} else {
+						acc.over.Count += b.Count
+					}
+					continue
+				}
+				if bp := acc.buckets[b.UpperBound]; bp != nil {
+					bp.Count += b.Count
+				} else {
+					b := b
+					acc.buckets[b.UpperBound] = &b
+					acc.order = append(acc.order, b.UpperBound)
+				}
+			}
+		}
+	}
+	sort.Slice(hOrder, func(i, j int) bool { return hOrder[i].less(hOrder[j]) })
+	for _, k := range hOrder {
+		acc := hists[k]
+		sort.Float64s(acc.order)
+		for _, ub := range acc.order {
+			acc.data.Buckets = append(acc.data.Buckets, *acc.buckets[ub])
+		}
+		if acc.over != nil {
+			acc.data.Buckets = append(acc.data.Buckets, *acc.over)
+		}
+		out.Histograms = append(out.Histograms, acc.data)
 	}
 	return out
 }

@@ -67,13 +67,15 @@ func (k Key) less(o Key) bool {
 type Collector struct {
 	bucket float64
 
-	counters []*Counter
-	gauges   []*Gauge
-	series   []*Series
+	counters   []*Counter
+	gauges     []*Gauge
+	series     []*Series
+	histograms []*Histogram
 
 	cIndex map[Key]*Counter
 	gIndex map[Key]*Gauge
 	sIndex map[Key]*Series
+	hIndex map[Key]*Histogram
 }
 
 // New returns an empty collector whose series use the given bucket width in
@@ -87,6 +89,7 @@ func New(bucket float64) *Collector {
 		cIndex: make(map[Key]*Counter),
 		gIndex: make(map[Key]*Gauge),
 		sIndex: make(map[Key]*Series),
+		hIndex: make(map[Key]*Histogram),
 	}
 }
 
@@ -363,5 +366,28 @@ func (c *Collector) Snapshot() Snapshot {
 		snap.Series = append(snap.Series, sd)
 	}
 	sort.Slice(snap.Series, func(i, j int) bool { return snap.Series[i].key().less(snap.Series[j].key()) })
+	for _, h := range c.histograms {
+		if h.count == 0 {
+			continue
+		}
+		hd := HistogramData{
+			Layer: string(h.key.Layer), Name: h.key.Name, Scope: h.key.Scope,
+			Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		}
+		for i, n := range h.counts {
+			if n == 0 {
+				continue
+			}
+			ub := histBounds[HistBuckets-1] // overflow reports the last bound
+			if i < HistBuckets {
+				ub = histBounds[i]
+			}
+			hd.Buckets = append(hd.Buckets, HistogramBucket{
+				UpperBound: ub, Overflow: i == HistBuckets, Count: n,
+			})
+		}
+		snap.Histograms = append(snap.Histograms, hd)
+	}
+	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].key().less(snap.Histograms[j].key()) })
 	return snap
 }

@@ -21,6 +21,7 @@ func Builtins() []*Spec {
 		correlatedSort(),
 		weightedSkew(),
 		expirySweep(),
+		liveMix(),
 	}
 }
 
@@ -156,6 +157,37 @@ func weightedSkew() *Spec {
 						Weights: map[string]float64{"sleep-sort-j0": 3},
 					},
 				},
+			},
+		}},
+	}
+}
+
+// liveMix runs the goroutine engine for real: three concurrent word-count
+// jobs on a churning 4+1 worker pool, compared across fifo, fair and
+// strict-priority arbitration (job 2 promoted), with per-job profiles and
+// engine metrics — the live counterpart of poisson-mix.
+func liveMix() *Spec {
+	return &Spec{
+		Schema:      Schema,
+		Name:        "live-mix",
+		Description: "Live engine: 3 concurrent real word counts under trace-compressed churn, fifo vs fair vs priority (job 2 promoted).",
+		Execution:   "live",
+		Live: &LiveSpec{
+			VolatileWorkers:  4,
+			DedicatedWorkers: 1,
+			HorizonSeconds:   120,
+			CompressionMS:    1,
+			SplitsPerJob:     8,
+			WordsPerSplit:    400,
+			ReducesPerJob:    3,
+		},
+		Metrics: MetricsSpec{BucketSeconds: 1},
+		Experiments: []Experiment{{
+			App: "wordcount",
+			Multi: &MultiExperiment{
+				Jobs:       3,
+				Policies:   []string{"fifo", "fair", "priority"},
+				Priorities: map[string]int{"live-j2": 5},
 			},
 		}},
 	}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dfs"
@@ -30,9 +31,17 @@ type Render struct {
 	Blank bool
 }
 
-// PlanRun is one compiled experiment: either the Figure 1 trace table, a
-// single-job sweep (Variants) or a multi-job sweep (Multi), plus the
-// tables to render from it.
+// LivePlan is one compiled live-engine sweep: the engine/churn shape plus
+// the policy variant lines. Executing it runs real Map/Reduce code.
+type LivePlan struct {
+	Config   harness.LiveConfig
+	Variants []harness.LiveVariant
+}
+
+// PlanRun is one compiled experiment: the Figure 1 trace table, a
+// single-job sweep (Variants), a multi-job sweep (Multi) or a live-engine
+// sweep (Live), plus the tables to render from it (live sweeps render
+// their own matrix).
 type PlanRun struct {
 	// Fig1 runs the availability-trace figure instead of a sweep.
 	Fig1 bool
@@ -42,6 +51,7 @@ type PlanRun struct {
 	App      string
 	Variants []harness.Variant
 	Multi    []harness.MultiVariant
+	Live     *LivePlan
 	Renders  []Render
 }
 
@@ -62,13 +72,60 @@ func Compile(s *Spec) (*Plan, error) {
 	d := s.withDefaults()
 	p := &Plan{Config: s.harnessConfig()}
 	for i := range d.Experiments {
-		run, err := compileExperiment(&d.Experiments[i], &d)
+		var run PlanRun
+		var err error
+		if d.Execution == "live" {
+			run, err = compileLive(&d.Experiments[i], d.Live)
+		} else {
+			run, err = compileExperiment(&d.Experiments[i], &d)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("scenario: %q experiment %d: %w", d.Name, i, err)
 		}
 		p.Runs = append(p.Runs, run)
 	}
 	return p, nil
+}
+
+// compileLive lowers one live multi-job experiment: the LiveSpec becomes a
+// harness.LiveConfig (zero fields keep the harness defaults) and the
+// policy list becomes live variant lines.
+func compileLive(e *Experiment, l *LiveSpec) (PlanRun, error) {
+	m := e.Multi
+	lc := harness.DefaultLiveConfig()
+	lc.Jobs = m.Jobs
+	if l != nil {
+		if l.VolatileWorkers > 0 || l.DedicatedWorkers > 0 {
+			lc.VolatileWorkers, lc.DedicatedWorkers = l.VolatileWorkers, l.DedicatedWorkers
+		}
+		lc.NoDedicatedReplication = l.NoDedicatedReplication
+		if l.HorizonSeconds > 0 {
+			lc.HorizonSeconds = l.HorizonSeconds
+		}
+		if l.CompressionMS > 0 {
+			lc.Compression = time.Duration(l.CompressionMS * float64(time.Millisecond))
+		}
+		if l.SplitsPerJob > 0 {
+			lc.SplitsPerJob = l.SplitsPerJob
+		}
+		if l.WordsPerSplit > 0 {
+			lc.WordsPerSplit = l.WordsPerSplit
+		}
+		if l.ReducesPerJob > 0 {
+			lc.ReducesPerJob = l.ReducesPerJob
+		}
+		if l.TimeoutSeconds > 0 {
+			lc.Timeout = time.Duration(l.TimeoutSeconds * float64(time.Second))
+		}
+	}
+	// Validate() already resolved every policy name; LiveVariants attaches
+	// weights/priorities to the policies that read them.
+	return PlanRun{
+		Title: fmt.Sprintf("Live engine: %d concurrent word-count jobs, %dv+%dd workers",
+			lc.Jobs, lc.VolatileWorkers, lc.DedicatedWorkers),
+		App:  "wordcount",
+		Live: &LivePlan{Config: lc, Variants: harness.LiveVariants(m.Policies, m.Weights, m.Priorities)},
+	}, nil
 }
 
 // Execute runs every compiled run in order, appending each sweep's
@@ -81,6 +138,20 @@ func (p *Plan) Execute(stdout io.Writer, report *metrics.Export) error {
 	}
 	for _, run := range p.Runs {
 		switch {
+		case run.Live != nil:
+			sw, err := cfg.RunLiveSweep(run.Title, run.Live.Config, run.Live.Variants)
+			if err != nil {
+				return err
+			}
+			if report != nil {
+				sw.AppendMetrics(report, len(cfg.Seeds))
+			}
+			if err := sw.Render(stdout); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(stdout); err != nil {
+				return err
+			}
 		case run.Fig1:
 			if err := harness.Fig1(stdout, cfg.Seeds[0]); err != nil {
 				return err
@@ -238,9 +309,10 @@ func lowerRenders(names []string, blankEach bool) []Render {
 func compileMulti(e *Experiment) (PlanRun, error) {
 	m := e.Multi
 	arr := harness.ArrivalSpec{
-		Process:  m.Arrivals,
-		Interval: m.IntervalSeconds,
-		Seed:     m.ArrivalSeed,
+		Process:    m.Arrivals,
+		Interval:   m.IntervalSeconds,
+		Seed:       m.ArrivalSeed,
+		Priorities: m.Priorities,
 	}
 	if arr.Process == "" {
 		arr.Process = "staggered"
@@ -277,10 +349,18 @@ func resolvePolicies(names []string, weights map[string]float64) ([]mapred.Sched
 }
 
 func resolvePolicy(name string, weights map[string]float64) (mapred.SchedPolicy, error) {
-	if name == "weighted" && len(weights) > 0 {
+	// Resolve first, then attach weights by *canonical* name: the alias
+	// spellings ("wfair", "weighted-fair") must not silently drop the
+	// configured weights, and an unknown name is a hard error on every
+	// path.
+	pol, err := mapred.JobPolicyByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if pol.Name() == "weighted" && len(weights) > 0 {
 		return mapred.WeightedFair(weights), nil
 	}
-	return mapred.JobPolicyByName(name)
+	return pol, nil
 }
 
 func compileCustom(e *Experiment, s *Spec) (PlanRun, error) {
@@ -337,6 +417,7 @@ func buildMultiVariant(v *VariantSpec, cl *ClusterSpec, ws *WorkloadSpec, base w
 		arr := harness.ArrivalSpec{Process: ws.Arrivals, Interval: ws.IntervalSeconds, Seed: ws.ArrivalSeed}
 		m = arr.Stream(base, ws.Jobs)
 	}
+	m = workload.WithPriorities(m, v.Priorities)
 	v2, cl2 := *v, cloneCluster(cl)
 	return harness.MultiVariant{Label: v.Label, Build: func(cs core.ClusterSpec) (core.Options, workload.MultiSpec) {
 		opts := buildOptions(&v2, cl2, cs)

@@ -48,6 +48,35 @@ func FromFlags(f Flags) (*Spec, error) {
 		return nil, fmt.Errorf("unknown app %q", f.App)
 	}
 
+	// The live experiment runs the goroutine engine: real word counts
+	// under churn, jobs submitted together (no arrival process).
+	if f.Experiment == "live" {
+		if f.App == "sort" {
+			return nil, fmt.Errorf("-experiment live executes real word counts (-app wordcount)")
+		}
+		policies, err := livePolicies(f.Policy)
+		if err != nil {
+			return nil, err
+		}
+		return &Spec{
+			Schema:      Schema,
+			Name:        "moonbench-live",
+			Description: "Assembled from moonbench flags.",
+			Execution:   "live",
+			Sweep: SweepSpec{
+				Seeds:       f.Seeds,
+				Rates:       f.Rates,
+				Scale:       f.Scale,
+				Parallelism: f.Parallel,
+			},
+			Metrics: MetricsSpec{BucketSeconds: f.MetricsBucket},
+			Experiments: []Experiment{{
+				App:   "wordcount",
+				Multi: &MultiExperiment{Jobs: f.Jobs, Policies: policies},
+			}},
+		}, nil
+	}
+
 	// Validate the policy flag up front, like the legacy CLI: a typo must
 	// fail loudly even when the multi experiment is not selected this run.
 	var policies []string
@@ -133,4 +162,17 @@ func FromFlags(f Flags) (*Spec, error) {
 		}
 	}
 	return s, nil
+}
+
+// livePolicies lowers the -policy flag for the live experiment: "both"
+// keeps the engine's default fifo-vs-fair comparison, anything else must
+// resolve (hard error on a typo, like every policy entry point).
+func livePolicies(policy string) ([]string, error) {
+	if policy == "both" {
+		return nil, nil
+	}
+	if _, err := mapred.JobPolicyByName(policy); err != nil {
+		return nil, err
+	}
+	return []string{policy}, nil
 }

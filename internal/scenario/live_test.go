@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func liveSpec() *Spec {
+	s, ok := Lookup("live-mix")
+	if !ok {
+		panic("live-mix builtin missing")
+	}
+	return s
+}
+
+func TestLiveSpecValidatesAndRoundTrips(t *testing.T) {
+	s := liveSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	parsed, err := Parse(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := parsed.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if first != buf2.String() {
+		t.Fatal("live spec round-trip not lossless")
+	}
+	if parsed.Execution != "live" || parsed.Live == nil || parsed.Live.CompressionMS != 1 {
+		t.Fatalf("live fields lost: %+v", parsed)
+	}
+}
+
+func TestLiveSpecValidationRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(*Spec)
+	}{
+		{"unknown execution", func(s *Spec) { s.Execution = "turbo" }},
+		{"live settings without live execution", func(s *Spec) { s.Execution = "" }},
+		{"figure experiment", func(s *Spec) { s.Experiments[0] = Experiment{Figure: "fig4", App: "sort"} }},
+		{"custom experiment", func(s *Spec) {
+			s.Experiments[0] = Experiment{Custom: &CustomExperiment{
+				Title: "x", Workload: WorkloadSpec{App: "sort"},
+				Variants: []VariantSpec{{Label: "a", Preset: "moon"}},
+			}}
+		}},
+		{"sort app", func(s *Spec) { s.Experiments[0].App = "sort" }},
+		{"renders", func(s *Spec) { s.Experiments[0].Renders = []string{"multi"} }},
+		{"arrival process", func(s *Spec) { s.Experiments[0].Multi.Arrivals = "poisson"; s.Experiments[0].Multi.LambdaPerHour = 10 }},
+		{"zero jobs", func(s *Spec) { s.Experiments[0].Multi.Jobs = 0 }},
+		{"unknown policy", func(s *Spec) { s.Experiments[0].Multi.Policies = []string{"lottery"} }},
+		{"duplicate canonical policy", func(s *Spec) {
+			s.Experiments[0].Multi.Policies = []string{"fair", "fair-share", "priority"}
+		}},
+		{"priorities without priority policy", func(s *Spec) { s.Experiments[0].Multi.Policies = []string{"fifo"} }},
+		{"negative live horizon", func(s *Spec) { s.Live.HorizonSeconds = -1 }},
+		{"negative live workers", func(s *Spec) { s.Live.VolatileWorkers = -2 }},
+	}
+	for _, tc := range cases {
+		s := liveSpec()
+		tc.edit(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: validated", tc.name)
+		}
+	}
+}
+
+func TestLiveSpecAliasPoliciesCarryPrioritiesAndWeights(t *testing.T) {
+	// Canonicalized alias spellings must satisfy the weights/priorities
+	// policy requirement (the silent-fall-through fix).
+	s := liveSpec()
+	s.Experiments[0].Multi.Policies = []string{"strict-priority"}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("alias strict-priority rejected: %v", err)
+	}
+	s = liveSpec()
+	s.Experiments[0].Multi.Policies = []string{"weighted-fair"}
+	s.Experiments[0].Multi.Priorities = nil
+	s.Experiments[0].Multi.Weights = map[string]float64{"live-j0": 2}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("alias weighted-fair rejected: %v", err)
+	}
+}
+
+func TestCompileLiveLowersPlan(t *testing.T) {
+	plan, err := Compile(liveSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Runs) != 1 {
+		t.Fatalf("runs %d", len(plan.Runs))
+	}
+	run := plan.Runs[0]
+	if run.Live == nil || run.Variants != nil || run.Multi != nil || run.Fig1 {
+		t.Fatalf("live plan shape: %+v", run)
+	}
+	lc := run.Live.Config
+	if lc.Jobs != 3 || lc.VolatileWorkers != 4 || lc.DedicatedWorkers != 1 {
+		t.Fatalf("live config %+v", lc)
+	}
+	if lc.Compression != time.Millisecond || lc.HorizonSeconds != 120 {
+		t.Fatalf("live churn shape %+v", lc)
+	}
+	if lc.NoDedicatedReplication {
+		t.Fatal("dedicated replication off by default")
+	}
+	vs := run.Live.Variants
+	if len(vs) != 3 || vs[0].Policy != "fifo" || vs[1].Policy != "fair" || vs[2].Policy != "priority" {
+		t.Fatalf("live variants %+v", vs)
+	}
+	if vs[2].Priorities["live-j2"] != 5 {
+		t.Fatalf("priority variant lost its ranks: %+v", vs[2])
+	}
+	if vs[0].Priorities != nil || vs[1].Priorities != nil {
+		t.Fatal("priorities leaked onto non-priority variants")
+	}
+}
+
+func TestFromFlagsLive(t *testing.T) {
+	s, err := FromFlags(Flags{
+		Experiment: "live", App: "both", Policy: "both",
+		Jobs: 4, Stagger: 60, Arrivals: "staggered",
+		Seeds: []uint64{1}, Rates: []float64{0.3}, Scale: 1,
+		MetricsBucket: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Execution != "live" || len(s.Experiments) != 1 || s.Experiments[0].Multi.Jobs != 4 {
+		t.Fatalf("live flag spec: %+v", s)
+	}
+	if _, err := Compile(s); err != nil {
+		t.Fatal(err)
+	}
+
+	// A single policy flag narrows the comparison; sort is rejected.
+	s, err = FromFlags(Flags{Experiment: "live", App: "wordcount", Policy: "priority",
+		Jobs: 2, Stagger: 60, Arrivals: "staggered", MetricsBucket: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Experiments[0].Multi.Policies; len(got) != 1 || got[0] != "priority" {
+		t.Fatalf("policies %v", got)
+	}
+	if _, err := FromFlags(Flags{Experiment: "live", App: "sort", Policy: "both",
+		Jobs: 2, Stagger: 60, Arrivals: "staggered"}); err == nil {
+		t.Fatal("live sort accepted")
+	}
+	if _, err := FromFlags(Flags{Experiment: "live", App: "both", Policy: "lottery",
+		Jobs: 2, Stagger: 60, Arrivals: "staggered"}); err == nil {
+		t.Fatal("live unknown policy accepted")
+	}
+}

@@ -35,9 +35,11 @@ const Schema = "moon-scenario/v1"
 // Vocabulary of the flag-compatible enumerations; `moonbench -list` prints
 // these.
 var (
-	// Experiments are the valid built-in experiment selectors.
+	// Experiments are the valid built-in experiment selectors. "live"
+	// runs the goroutine engine (execution "live") and is not part of
+	// "all", which covers the simulated paper evaluation.
 	Experiments = []string{
-		"fig1", "fig4", "fig5", "fig6", "table2", "fig7", "multi", "ablation", "correlated", "all",
+		"fig1", "fig4", "fig5", "fig6", "table2", "fig7", "multi", "ablation", "correlated", "all", "live",
 	}
 	// Apps are the paper's Table I applications.
 	Apps = []string{"sort", "wordcount"}
@@ -57,6 +59,13 @@ type Spec struct {
 	// into exported metrics reports.
 	Name        string `json:"name"`
 	Description string `json:"description,omitempty"`
+	// Execution selects the backend: "sim" (the default when empty) runs
+	// the event-driven simulator; "live" runs the goroutine engine —
+	// real Map/Reduce code on a churning worker pool, every experiment a
+	// multi-job policy sweep with trace-compressed churn per cell.
+	Execution string `json:"execution,omitempty"`
+	// Live configures the live engine; only valid with execution "live".
+	Live *LiveSpec `json:"live,omitempty"`
 	// Sweep sets the shared sweep axes of every experiment in the spec.
 	Sweep SweepSpec `json:"sweep,omitzero"`
 	// Metrics configures collection for runs that export a report.
@@ -79,6 +88,35 @@ type SweepSpec struct {
 	// Parallelism bounds concurrent simulations (0 = all cores,
 	// 1 = serial); results are identical at any setting.
 	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// LiveSpec shapes the live goroutine engine of an "execution": "live"
+// scenario: the worker pool, the churn-trace compression, and the real
+// word-count workload each cell executes. Zero fields keep the harness
+// defaults (4 volatile + 1 dedicated workers, 120 s traces at 1 ms per
+// simulated second, 8×400-word splits, 3 reducers per job).
+type LiveSpec struct {
+	// VolatileWorkers can be suspended by churn traces;
+	// DedicatedWorkers never churn.
+	VolatileWorkers  int `json:"volatile_workers,omitempty"`
+	DedicatedWorkers int `json:"dedicated_workers,omitempty"`
+	// NoDedicatedReplication disables MOON's hybrid-aware intermediate
+	// replication (map outputs then live only on their worker, so churn
+	// forces re-execution).
+	NoDedicatedReplication bool `json:"no_dedicated_replication,omitempty"`
+	// HorizonSeconds is the churn-trace length in simulated seconds; the
+	// sweep's rates drive each trace's unavailable fraction.
+	HorizonSeconds float64 `json:"horizon_seconds,omitempty"`
+	// CompressionMS maps one simulated trace second to this many
+	// wall-clock milliseconds.
+	CompressionMS float64 `json:"compression_ms,omitempty"`
+	// SplitsPerJob / WordsPerSplit / ReducesPerJob size each word-count
+	// job.
+	SplitsPerJob  int `json:"splits_per_job,omitempty"`
+	WordsPerSplit int `json:"words_per_split,omitempty"`
+	ReducesPerJob int `json:"reduces_per_job,omitempty"`
+	// TimeoutSeconds bounds one cell's wall-clock execution.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 }
 
 // MetricsSpec configures cross-layer metrics collection.
@@ -138,8 +176,12 @@ type MultiExperiment struct {
 	// line each (default: fifo and fair).
 	Policies []string `json:"policies,omitempty"`
 	// Weights are per-job-name weights for the weighted policy (jobs of
-	// an n-job stream are named <base>-j0 .. <base>-j<n-1>).
+	// an n-job stream are named <base>-j0 .. <base>-j<n-1>; live jobs
+	// live-j0 .. live-j<n-1>).
 	Weights map[string]float64 `json:"weights,omitempty"`
+	// Priorities are per-job-name strict-priority ranks for the priority
+	// policy (higher wins; absent jobs rank 0).
+	Priorities map[string]int `json:"priorities,omitempty"`
 }
 
 // CustomExperiment is a declarative sweep: a workload plus variant lines,
@@ -205,10 +247,13 @@ type VariantSpec struct {
 	// replication for this line (the Figure 6 axis).
 	IntermediateFactor *FactorSpec `json:"intermediate_factor,omitempty"`
 	// Policy arbitrates slots between the jobs of a multi-job workload
-	// ("fifo", "fair", "weighted"; empty = fifo).
+	// ("fifo", "fair", "weighted", "priority"; empty = fifo).
 	Policy string `json:"policy,omitempty"`
 	// Weights are per-job-name weights; they require Policy "weighted".
 	Weights map[string]float64 `json:"weights,omitempty"`
+	// Priorities are per-job-name strict-priority ranks; they require
+	// Policy "priority".
+	Priorities map[string]int `json:"priorities,omitempty"`
 }
 
 // ClusterSpec describes the emulated fleet and its churn. Volatile and
@@ -380,12 +425,81 @@ func (s *Spec) Validate() error {
 	if len(s.Experiments) == 0 {
 		return fmt.Errorf("scenario: %q has no experiments", s.Name)
 	}
+	live := false
+	switch s.Execution {
+	case "", "sim":
+		if s.Live != nil {
+			return fmt.Errorf("scenario: %q has live settings but execution %q (want \"live\")", s.Name, s.Execution)
+		}
+	case "live":
+		live = true
+		if err := s.Live.validate(); err != nil {
+			return fmt.Errorf("scenario: %q: %w", s.Name, err)
+		}
+	default:
+		return fmt.Errorf("scenario: %q execution %q (want sim or live)", s.Name, s.Execution)
+	}
 	for i := range s.Experiments {
-		if err := s.Experiments[i].validate(); err != nil {
+		var err error
+		if live {
+			err = s.Experiments[i].validateLive()
+		} else {
+			err = s.Experiments[i].validate()
+		}
+		if err != nil {
 			return fmt.Errorf("scenario: %q experiment %d: %w", s.Name, i, err)
 		}
 	}
 	return nil
+}
+
+func (l *LiveSpec) validate() error {
+	if l == nil {
+		return nil
+	}
+	if l.VolatileWorkers < 0 || l.DedicatedWorkers < 0 {
+		return fmt.Errorf("live worker counts (%d volatile, %d dedicated)", l.VolatileWorkers, l.DedicatedWorkers)
+	}
+	for name, v := range map[string]float64{
+		"horizon_seconds": l.HorizonSeconds,
+		"compression_ms":  l.CompressionMS,
+		"timeout_seconds": l.TimeoutSeconds,
+	} {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("live %s %v", name, v)
+		}
+	}
+	if l.SplitsPerJob < 0 || l.WordsPerSplit < 0 || l.ReducesPerJob < 0 {
+		return fmt.Errorf("live job sizing must be >= 0")
+	}
+	return nil
+}
+
+// validateLive checks an experiment under execution "live": only multi-job
+// policy sweeps apply (the engine executes real word counts — figures,
+// ablations and custom stack deltas are simulator concepts), submissions
+// are immediate (no arrival process), and renders are fixed.
+func (e *Experiment) validateLive() error {
+	if e.Multi == nil {
+		return fmt.Errorf("live execution runs multi-job experiments only (figure/ablation/correlated/custom are simulator sweeps)")
+	}
+	if e.Figure != "" || e.Ablation != "" || e.Correlated || e.Custom != nil {
+		return fmt.Errorf("live execution runs multi-job experiments only")
+	}
+	if e.App != "" && e.App != "wordcount" {
+		return fmt.Errorf("live app %q (the engine executes real word counts; want wordcount or empty)", e.App)
+	}
+	if len(e.Renders) > 0 {
+		return fmt.Errorf("renders do not apply to live execution")
+	}
+	m := e.Multi
+	if m.Jobs < 1 {
+		return fmt.Errorf("live multi needs jobs >= 1 (got %d)", m.Jobs)
+	}
+	if m.Arrivals != "" || m.IntervalSeconds != 0 || m.LambdaPerHour != 0 || m.ArrivalSeed != 0 {
+		return fmt.Errorf("live jobs are submitted together (arrival fields do not apply)")
+	}
+	return m.validatePolicies()
 }
 
 func (e *Experiment) validate() error {
@@ -451,13 +565,34 @@ func (m *MultiExperiment) validate() error {
 	if err := validateArrivals(m.Arrivals, m.IntervalSeconds, m.LambdaPerHour); err != nil {
 		return err
 	}
+	return m.validatePolicies()
+}
+
+// validatePolicies checks the policy list (every name must resolve — a
+// typo is a hard error, never a silent FIFO) and that weights/priorities
+// only appear alongside the policy that reads them. Policy names are
+// canonicalized, so alias spellings ("weighted-fair", "strict-priority")
+// carry their weights/priorities too.
+func (m *MultiExperiment) validatePolicies() error {
+	canonical := make([]string, 0, len(m.Policies))
 	for _, p := range m.Policies {
-		if _, err := mapred.JobPolicyByName(p); err != nil {
+		pol, err := mapred.JobPolicyByName(p)
+		if err != nil {
 			return err
 		}
+		if slices.Contains(canonical, pol.Name()) {
+			// Variant lines are labeled (and sweep cells keyed) by the
+			// canonical policy name; a duplicate would silently clobber
+			// the first line's results.
+			return fmt.Errorf("policy %q duplicates %q", p, pol.Name())
+		}
+		canonical = append(canonical, pol.Name())
 	}
-	if len(m.Weights) > 0 && !slices.Contains(m.Policies, "weighted") {
+	if len(m.Weights) > 0 && !slices.Contains(canonical, "weighted") {
 		return fmt.Errorf("weights need the \"weighted\" policy in policies")
+	}
+	if len(m.Priorities) > 0 && !slices.Contains(canonical, "priority") {
+		return fmt.Errorf("priorities need the \"priority\" policy in policies")
 	}
 	return validateWeights(m.Weights)
 }
@@ -545,16 +680,22 @@ func (v *VariantSpec) validate(multi bool) error {
 	if err := v.IntermediateFactor.validate(); err != nil {
 		return err
 	}
+	policyName := ""
 	if v.Policy != "" {
 		if !multi {
 			return fmt.Errorf("policy %q needs a multi-job workload", v.Policy)
 		}
-		if _, err := mapred.JobPolicyByName(v.Policy); err != nil {
+		pol, err := mapred.JobPolicyByName(v.Policy)
+		if err != nil {
 			return err
 		}
+		policyName = pol.Name()
 	}
-	if len(v.Weights) > 0 && v.Policy != "weighted" {
+	if len(v.Weights) > 0 && policyName != "weighted" {
 		return fmt.Errorf("weights need policy \"weighted\"")
+	}
+	if len(v.Priorities) > 0 && policyName != "priority" {
+		return fmt.Errorf("priorities need policy \"priority\"")
 	}
 	if err := validateWeights(v.Weights); err != nil {
 		return err

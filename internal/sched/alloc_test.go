@@ -1,0 +1,23 @@
+package sched
+
+import "testing"
+
+func TestRankedPoliciesOrderDoNotAllocate(t *testing.T) {
+	jobs := []*fakeJob{
+		{name: "a", attempts: Attempts{Live: 3}, priority: 1},
+		{name: "b", attempts: Attempts{Live: 1}, priority: 4},
+		{name: "c", attempts: Attempts{Live: 2}, priority: 2},
+	}
+	scratch := make([]*fakeJob, 0, len(jobs))
+	for _, p := range []Policy[*fakeJob]{
+		FairShare[*fakeJob](),
+		WeightedFair[*fakeJob](map[string]float64{"a": 2}),
+		StrictPriority[*fakeJob](),
+	} {
+		p := p
+		allocs := testing.AllocsPerRun(100, func() { p.Order(scratch[:0], jobs) })
+		if allocs != 0 {
+			t.Errorf("%s Order allocates %v per call", p.Name(), allocs)
+		}
+	}
+}

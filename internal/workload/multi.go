@@ -162,6 +162,23 @@ func PoissonArrivals(base Spec, n int, meanInterval float64, seed uint64) MultiS
 	return m
 }
 
+// WithPriorities returns a copy of the multi-job workload with per-job
+// strict-priority ranks applied by job name (jobs of an n-job stream are
+// named <base>-j0 .. <base>-j<n-1>). Jobs without an entry keep rank 0.
+// Only the StrictPriority arbitration policy reads the ranks.
+func WithPriorities(m MultiSpec, priorities map[string]int) MultiSpec {
+	if len(priorities) == 0 {
+		return m
+	}
+	out := MultiSpec{Name: m.Name, Jobs: append([]MultiJob(nil), m.Jobs...)}
+	for i := range out.Jobs {
+		if p, ok := priorities[out.Jobs[i].Spec.Job.Name]; ok {
+			out.Jobs[i].Spec.Job.Priority = p
+		}
+	}
+	return out
+}
+
 // ScaleMulti shrinks every job of a multi-job workload by factor k
 // (offsets preserved); ScaleMulti(m, 1) is the identity.
 func ScaleMulti(m MultiSpec, k int) MultiSpec {
