@@ -29,10 +29,12 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/transport"
 )
 
 // MapFunc processes one input split, emitting intermediate key/value pairs.
@@ -88,6 +90,26 @@ type Config struct {
 	// job without an entry runs at weight 1.
 	JobWeights map[string]float64
 
+	// Transport is the message fabric carrying all master↔worker traffic
+	// (join handshakes, heartbeats, assignments, result events,
+	// intermediate-data fetches). Nil selects the in-process loopback:
+	// ordered, lossless, effectively instant — the default under which the
+	// engine behaves exactly as it did with bare channels.
+	Transport transport.Transport
+
+	// Faults, when non-nil, wraps Transport with deterministic seeded
+	// fault injection (drops, duplicates, delays, connection resets, timed
+	// partition windows) — chaos testing for the failure-handling
+	// protocol. See transport.FaultConfig.
+	Faults *transport.FaultConfig
+
+	// Link tunes the failure-handling protocol: per-operation timeouts,
+	// retry budget and backoff, heartbeat-lease clocks, session expiry.
+	// Zero fields default — notably HeartbeatInterval and LeaseDuration
+	// inherit the engine's HeartbeatInterval and SuspensionTimeout, so the
+	// lease clock is the suspension clock unless tuned apart.
+	Link transport.LinkConfig
+
 	// Metrics, when non-nil, receives engine-layer instrumentation
 	// (attempt launches, backup copies, frozen-task detections, map
 	// re-executions, fetch failures, per-job queue-wait and makespan
@@ -110,19 +132,66 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) validate() error {
+// Validate rejects configurations the protocol cannot run: an empty pool,
+// non-positive clocks, a heartbeat period that cannot fit inside the
+// suspension timeout (the master would declare every worker frozen between
+// beats), an unknown policy, or invalid link/fault settings.
+func (c Config) Validate() error {
 	if c.VolatileWorkers+c.DedicatedWorkers < 1 {
 		return errors.New("engine: need at least one worker")
 	}
 	if c.SuspensionTimeout <= 0 || c.HeartbeatInterval <= 0 || c.FetchTimeout <= 0 {
 		return errors.New("engine: timeouts must be positive")
 	}
+	if c.HeartbeatInterval >= c.SuspensionTimeout {
+		return fmt.Errorf("engine: HeartbeatInterval %v must be shorter than SuspensionTimeout %v (a worker must fit several beats into one lease)",
+			c.HeartbeatInterval, c.SuspensionTimeout)
+	}
 	if c.JobPolicy != "" {
 		if _, err := sched.PolicyByName[*liveJob](c.JobPolicy); err != nil {
 			return fmt.Errorf("engine: %w", err)
 		}
 	}
+	if err := c.link().Validate(); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+	}
 	return nil
+}
+
+// link resolves the protocol clocks: explicit Link fields win, zero fields
+// fall back to sane defaults, and the heartbeat/lease pair inherits the
+// engine's own churn clocks so suspension detection keeps one time base.
+func (c Config) link() transport.LinkConfig {
+	l := c.Link
+	d := transport.DefaultLinkConfig()
+	if l.ConnectTimeout == 0 {
+		l.ConnectTimeout = d.ConnectTimeout
+	}
+	if l.SendTimeout == 0 {
+		l.SendTimeout = d.SendTimeout
+	}
+	if l.RecvTimeout == 0 {
+		l.RecvTimeout = d.RecvTimeout
+	}
+	if l.HeartbeatInterval == 0 {
+		l.HeartbeatInterval = c.HeartbeatInterval
+	}
+	if l.LeaseDuration == 0 {
+		l.LeaseDuration = c.SuspensionTimeout
+	}
+	if l.MaxRetries == 0 {
+		l.MaxRetries = d.MaxRetries
+	}
+	if l.RetryBackoff == 0 {
+		l.RetryBackoff = d.RetryBackoff
+	}
+	// SessionExpiry 0 means sessions never expire on silence alone.
+	return l
 }
 
 // policy resolves the configured arbitration policy (validated in New).
@@ -146,7 +215,17 @@ func (c Config) policy() sched.Policy[*liveJob] {
 // New, submit concurrent jobs with Submit (or run one with Run), inject
 // churn with Suspend/Resume, and Close when done.
 type Cluster struct {
-	cfg     Config
+	cfg  Config
+	link transport.LinkConfig
+	// tr is the message fabric every master↔worker exchange crosses.
+	tr transport.Transport
+	// retries totals protocol retries made outside the master goroutine
+	// (worker resends, master write-loop nudges); folded into the metrics
+	// collector at shutdown.
+	retries atomic.Int64
+	// cleared fences finished jobs' store sweeps against stale attempts.
+	cleared *clearedSet
+
 	workers []*worker
 	closed  chan struct{}
 	once    sync.Once
@@ -160,25 +239,56 @@ type Cluster struct {
 	master *master
 }
 
-// New starts the worker goroutine pool and the master loop.
+// New starts the worker goroutine pool and the master loop, wired through
+// Config.Transport (loopback by default, optionally wrapped with fault
+// injection).
 func New(cfg Config) (*Cluster, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	c := &Cluster{
 		cfg:        cfg,
+		link:       cfg.link(),
+		cleared:    newClearedSet(),
 		closed:     make(chan struct{}),
 		submits:    make(chan submitReq),
 		drains:     make(chan chan struct{}),
 		masterDone: make(chan struct{}),
 	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = transport.NewLoopback()
+	}
+	if cfg.Faults != nil {
+		ftr, err := transport.NewFlaky(tr, *cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		tr = ftr
+	}
+	c.tr = tr
+	masterLis, err := tr.Listen(masterAddr)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
 	total := cfg.VolatileWorkers + cfg.DedicatedWorkers
 	for i := 0; i < total; i++ {
-		w := newWorker(i, i >= cfg.VolatileWorkers, cfg)
+		w := newWorker(i, i >= cfg.VolatileWorkers, cfg, c.link, tr, &c.retries, c.cleared)
+		lis, err := tr.Listen(WorkerAddr(i))
+		if err != nil {
+			masterLis.Close()
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		w.fetchLis = lis
 		c.workers = append(c.workers, w)
+	}
+	for _, w := range c.workers {
+		w.peers = c.workers
+	}
+	for _, w := range c.workers {
 		go w.run(c.closed)
 	}
-	c.master = newMaster(c)
+	c.master = newMaster(c, masterLis)
 	go c.master.run()
 	return c, nil
 }

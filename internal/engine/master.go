@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/transport"
 )
 
 // liveJob is the master's record of one submitted job — the engine's
@@ -67,7 +68,7 @@ func (j *liveJob) allReducesDone() bool {
 	return true
 }
 
-// masterEvent is anything a worker reports back.
+// masterEvent is one worker event resolved against master state.
 type masterEvent struct {
 	kind    eventKind
 	job     *liveJob
@@ -87,10 +88,13 @@ const (
 	evReduceStuck
 )
 
-// attemptRef tracks one outstanding attempt.
+// attemptRef tracks one outstanding attempt, pinned to the session it was
+// assigned under: if that session dies, the attempt's result can never be
+// accepted and the ref is force-retired.
 type attemptRef struct {
 	attempt int
 	worker  int
+	session uint64
 	started time.Time
 }
 
@@ -105,18 +109,63 @@ type taskState struct {
 	nextAttempt int
 }
 
+// session is the master's side of one worker epoch: the connection, the
+// lease clock, the unacked assignments awaiting resend, and the dedup
+// state that commits each result event at most once. Only the master
+// goroutine touches its fields; the read/write loops own just the conn,
+// outbox and done channel.
+type session struct {
+	worker int
+	id     uint64
+	conn   transport.Conn
+	outbox chan any
+	done   chan struct{}
+
+	alive    bool
+	lastBeat time.Time
+	// leaseLapsed latches the lease-expiry metric per silence episode (a
+	// fresh heartbeat re-arms it).
+	leaseLapsed bool
+
+	seenEvents   map[uint64]bool
+	nextAssignID uint64
+	pending      map[uint64]*pendingAssign
+}
+
+// pendingAssign is one assignment awaiting its ack.
+type pendingAssign struct {
+	msg     msgAssign
+	sentAt  time.Time
+	resends int
+}
+
+// inMsg is one message (or connection-death notice) routed into the
+// master loop. sess is nil only for the hello of a brand-new connection.
+type inMsg struct {
+	sess *session
+	conn transport.Conn
+	m    any
+}
+
+// connDead is the in-band notice that a session's connection failed.
+type connDead struct{}
+
 // master coordinates the cluster's whole job stream: it owns the shared
 // scheduling queue, assigns idle workers to jobs in policy order, detects
 // frozen tasks, and completes job handles. It is the only goroutine that
-// touches scheduling state and the metrics collector.
+// touches scheduling state, session state and the metrics collector.
 type master struct {
 	c     *Cluster
 	queue *sched.Queue[*liveJob]
 
-	events chan masterEvent
-	hb     chan int
+	link transport.LinkConfig
+	lis  transport.Listener
+	msgs chan inMsg
 
-	lastBeat  []time.Time
+	sessions    map[int]*session
+	nextSession uint64
+	jobsByID    map[int]*liveJob
+
 	nextJobID int
 
 	// drainWaiters are Drain callers blocked until every job finished and
@@ -135,18 +184,24 @@ type master struct {
 	mRunningJobs  *metrics.Series
 	mMapDur       *metrics.Histogram
 	mReduceDur    *metrics.Histogram
+	mLeaseExp     *metrics.Counter
+	mSessResets   *metrics.Counter
+	mDupDiscards  *metrics.Counter
+	mRetries      *metrics.Counter
 }
 
 // elapsed returns wall-clock seconds since the master started, the
 // engine's series time base.
 func (m *master) elapsed() float64 { return time.Since(m.start).Seconds() }
 
-func newMaster(c *Cluster) *master {
+func newMaster(c *Cluster, lis transport.Listener) *master {
 	m := &master{
 		c:        c,
-		events:   make(chan masterEvent, 4*len(c.workers)+16),
-		hb:       make(chan int, 4*len(c.workers)+16),
-		lastBeat: make([]time.Time, len(c.workers)),
+		link:     c.link,
+		lis:      lis,
+		msgs:     make(chan inMsg, 4*len(c.workers)+16),
+		sessions: make(map[int]*session),
+		jobsByID: make(map[int]*liveJob),
 		start:    time.Now(),
 	}
 	m.queue = sched.NewQueue(c.cfg.policy(), nil)
@@ -160,20 +215,21 @@ func newMaster(c *Cluster) *master {
 		m.mRunningJobs = mc.SampleSeries(metrics.LayerEngine, "running_jobs", "")
 		m.mMapDur = mc.Histogram(metrics.LayerEngine, "task_duration_seconds", "map")
 		m.mReduceDur = mc.Histogram(metrics.LayerEngine, "task_duration_seconds", "reduce")
+		m.mLeaseExp = mc.TimedCounter(metrics.LayerTransport, "lease_expiries", "")
+		m.mSessResets = mc.TimedCounter(metrics.LayerTransport, "session_resets", "")
+		m.mDupDiscards = mc.TimedCounter(metrics.LayerTransport, "duplicate_result_discards", "")
+		m.mRetries = mc.TimedCounter(metrics.LayerTransport, "retries", "")
 	}
 	return m
 }
 
-// run is the persistent master loop: it serves submissions, worker events
-// and heartbeats until the cluster closes, then fails every unfinished
-// handle.
+// run is the persistent master loop: it serves submissions, worker
+// messages and the maintenance tick until the cluster closes, then fails
+// every unfinished handle.
 func (m *master) run() {
 	defer close(m.c.masterDone)
-	now := time.Now()
-	for i, w := range m.c.workers {
-		m.lastBeat[i] = now
-		w.attachHeartbeat(m.hb)
-	}
+	defer m.shutdown()
+	go m.acceptLoop()
 	check := time.NewTicker(m.c.cfg.SuspensionTimeout / 2)
 	defer check.Stop()
 
@@ -188,17 +244,317 @@ func (m *master) run() {
 		case reply := <-m.c.drains:
 			m.drainWaiters = append(m.drainWaiters, reply)
 			m.notifyDrained()
-		case id := <-m.hb:
-			m.lastBeat[id] = time.Now()
-		case ev := <-m.events:
-			m.handle(ev)
+		case im := <-m.msgs:
+			m.handleMsg(im)
 			m.schedule()
 			m.notifyDrained()
 		case <-check.C:
+			m.expireSessions()
+			m.resendPending()
 			m.checkFrozen()
 			m.schedule()
+			m.notifyDrained()
 		}
 	}
+}
+
+// acceptLoop admits inbound worker connections; each one's hello is read
+// off-loop so a stalled handshake cannot block new arrivals.
+func (m *master) acceptLoop() {
+	for {
+		conn, err := m.lis.Accept(50 * time.Millisecond)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				if isClosed(m.c.closed) {
+					return
+				}
+				continue
+			}
+			return // listener closed
+		}
+		go m.greet(conn)
+	}
+}
+
+func (m *master) greet(conn transport.Conn) {
+	msg, err := conn.Recv(m.link.ConnectTimeout)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	hello, ok := msg.(msgHello)
+	if !ok {
+		conn.Close()
+		return
+	}
+	m.report(inMsg{conn: conn, m: hello})
+}
+
+// report routes one message into the master loop, giving up at closure.
+func (m *master) report(im inMsg) {
+	select {
+	case m.msgs <- im:
+	case <-m.c.closed:
+		if im.conn != nil {
+			im.conn.Close()
+		}
+	}
+}
+
+// handleMsg integrates one routed message.
+func (m *master) handleMsg(im inMsg) {
+	switch msg := im.m.(type) {
+	case msgHello:
+		// A hello is a handshake on a fresh connection; one arriving over
+		// an established session is a fault-injected duplicate — ignore it.
+		if im.sess == nil && im.conn != nil {
+			m.admit(im.conn, msg.worker)
+		}
+	case msgHeartbeat:
+		if s := im.sess; s != nil && s.alive && msg.session == s.id {
+			s.lastBeat = time.Now()
+			s.leaseLapsed = false
+		}
+	case msgAck:
+		if s := im.sess; s != nil && s.alive {
+			delete(s.pending, msg.id)
+		}
+	case msgEvent:
+		m.handleEvent(im.sess, msg)
+	case connDead:
+		if s := im.sess; s != nil && s.alive {
+			m.killSession(s, true)
+		}
+	}
+}
+
+// admit opens a new session for a joining worker, evicting any previous
+// one (a rejoin after a connection loss must not leave a zombie epoch able
+// to commit results).
+func (m *master) admit(conn transport.Conn, workerID int) {
+	if workerID < 0 || workerID >= len(m.c.workers) {
+		conn.Close()
+		return
+	}
+	if old := m.sessions[workerID]; old != nil && old.alive {
+		m.killSession(old, true)
+	}
+	m.nextSession++
+	s := &session{
+		worker:     workerID,
+		id:         m.nextSession,
+		conn:       conn,
+		outbox:     make(chan any, 128),
+		done:       make(chan struct{}),
+		alive:      true,
+		lastBeat:   time.Now(),
+		seenEvents: make(map[uint64]bool),
+		pending:    make(map[uint64]*pendingAssign),
+	}
+	m.sessions[workerID] = s
+	go m.writeLoop(s)
+	go m.readLoop(s)
+	s.outbox <- msgWelcome{session: s.id}
+}
+
+// killSession ends one worker epoch: close the connection, retire every
+// attempt assigned under it (their results can no longer be accepted), and
+// count the reset unless this is cluster shutdown.
+func (m *master) killSession(s *session, countReset bool) {
+	if !s.alive {
+		return
+	}
+	s.alive = false
+	close(s.done)
+	s.conn.Close()
+	if m.sessions[s.worker] == s {
+		delete(m.sessions, s.worker)
+	}
+	if countReset {
+		m.mSessResets.IncAt(m.elapsed())
+	}
+	m.forceRetire(s)
+}
+
+// forceRetire drops every outstanding attempt pinned to a dead session
+// from the accounting, so abandoned work is rescheduled instead of
+// wedging Drain.
+func (m *master) forceRetire(s *session) {
+	clear(s.pending)
+	for _, j := range m.queue.Jobs() {
+		if j.cleared {
+			continue
+		}
+		for _, tasks := range [2][]*taskState{j.maps, j.reduces} {
+			for _, t := range tasks {
+				kept := t.outstanding[:0]
+				for _, ref := range t.outstanding {
+					if ref.worker == s.worker && ref.session == s.id {
+						j.attempts.Live--
+						continue
+					}
+					kept = append(kept, ref)
+				}
+				t.outstanding = kept
+			}
+		}
+		if j.finished && j.attempts.Live == 0 {
+			m.clearJob(j)
+		}
+	}
+}
+
+// writeLoop drains one session's outbox onto its connection, retrying
+// transient send timeouts; a fatal error reports the connection dead.
+func (m *master) writeLoop(s *session) {
+	for {
+		select {
+		case <-s.done:
+			return
+		case msg := <-s.outbox:
+			err := s.conn.Send(msg, m.link.SendTimeout)
+			for r := 0; errors.Is(err, transport.ErrTimeout) && r < m.link.MaxRetries; r++ {
+				m.c.retries.Add(1)
+				err = s.conn.Send(msg, m.link.SendTimeout)
+			}
+			if err != nil && !errors.Is(err, transport.ErrTimeout) {
+				m.report(inMsg{sess: s, m: connDead{}})
+				return
+			}
+		}
+	}
+}
+
+// readLoop pumps one session's inbound messages into the master loop.
+func (m *master) readLoop(s *session) {
+	for {
+		msg, err := s.conn.Recv(time.Second)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				if isClosed(s.done) || isClosed(m.c.closed) {
+					return
+				}
+				continue
+			}
+			m.report(inMsg{sess: s, m: connDead{}})
+			return
+		}
+		m.report(inMsg{sess: s, m: msg})
+	}
+}
+
+// enqueue places one message on a session's outbox; a full outbox means
+// the link is hopeless (the worker stopped draining long ago) and kills
+// the session.
+func (m *master) enqueue(s *session, msg any) {
+	select {
+	case s.outbox <- msg:
+	default:
+		m.killSession(s, true)
+	}
+}
+
+// expireSessions ages every lease on the maintenance tick: a silent
+// volatile worker first lapses its lease (counted once per silence
+// episode — this is what gates scheduling and triggers the existing
+// suspension handling), and past SessionExpiry its whole session is
+// evicted so a zombie epoch cannot linger forever.
+func (m *master) expireSessions() {
+	now := time.Now()
+	for _, s := range m.sessions {
+		if !s.alive || m.c.workers[s.worker].dedicated {
+			continue
+		}
+		silence := now.Sub(s.lastBeat)
+		if silence >= m.link.LeaseDuration && !s.leaseLapsed {
+			s.leaseLapsed = true
+			m.mLeaseExp.IncAt(m.elapsed())
+		}
+		if m.link.SessionExpiry > 0 && silence >= m.link.SessionExpiry {
+			m.enqueue(s, msgExpired{}) // best-effort eviction notice
+			m.killSession(s, true)
+		}
+	}
+}
+
+// resendPending re-sends unacked assignments with linear backoff and
+// retires the ones that exhausted their retries — the worker plainly is
+// not receiving, so the attempt is abandoned and rescheduled elsewhere.
+func (m *master) resendPending() {
+	now := time.Now()
+	for _, s := range m.sessions {
+		if !s.alive {
+			continue
+		}
+		for id, p := range s.pending {
+			wait := m.link.SendTimeout + time.Duration(p.resends)*m.link.RetryBackoff
+			if now.Sub(p.sentAt) < wait {
+				continue
+			}
+			if p.resends >= m.link.MaxRetries {
+				delete(s.pending, id)
+				m.retireLost(p)
+				continue
+			}
+			p.resends++
+			p.sentAt = now
+			m.mRetries.IncAt(m.elapsed())
+			m.enqueue(s, p.msg)
+			if !s.alive {
+				break // enqueue killed the session; pending is gone
+			}
+		}
+	}
+}
+
+// retireLost retires the attempt of an assignment the worker never
+// acknowledged.
+func (m *master) retireLost(p *pendingAssign) {
+	a := p.msg.task
+	j := m.jobsByID[a.jobID]
+	if j == nil || j.cleared {
+		return
+	}
+	t := j.maps
+	if a.isReduce {
+		t = j.reduces
+	}
+	m.retire(j, t[a.taskID], a.attempt)
+}
+
+// handleEvent commits one worker result event — exactly once, and only
+// from the worker's current living session. Everything else (an expired
+// epoch's leftovers, a resend of an already-committed event, a
+// fault-injected duplicate) is discarded and counted.
+func (m *master) handleEvent(s *session, me msgEvent) {
+	if s == nil || !s.alive || me.session != s.id {
+		m.mDupDiscards.IncAt(m.elapsed())
+		return
+	}
+	if s.seenEvents[me.id] {
+		m.enqueue(s, msgAck{id: me.id}) // the previous ack was lost
+		m.mDupDiscards.IncAt(m.elapsed())
+		return
+	}
+	s.seenEvents[me.id] = true
+	m.enqueue(s, msgAck{id: me.id})
+	if !s.alive {
+		return // the ack found the outbox wedged; session died
+	}
+	j := m.jobsByID[me.ev.jobID]
+	if j == nil || j.cleared {
+		return // a stale attempt of an already-swept job
+	}
+	m.handle(masterEvent{
+		kind:    me.ev.kind,
+		job:     j,
+		taskID:  me.ev.taskID,
+		attempt: me.ev.attempt,
+		worker:  me.ev.worker,
+		holders: me.ev.holders,
+		output:  me.ev.output,
+		missing: me.ev.missing,
+	})
 }
 
 // notifyDrained releases Drain callers once every job has finished and
@@ -238,6 +594,7 @@ func (m *master) submit(job Job) submitResp {
 		return submitResp{err: fmt.Errorf("engine: %w", err)}
 	}
 	m.nextJobID++
+	m.jobsByID[j.id] = j
 	if mc := m.c.cfg.Metrics; mc != nil {
 		j.mQueueWait = mc.Gauge(metrics.LayerEngine, "queue_wait_seconds", job.Name)
 		j.mMakespan = mc.Gauge(metrics.LayerEngine, "makespan_seconds", job.Name)
@@ -259,13 +616,43 @@ func (m *master) failUnfinished(err error) {
 	}
 }
 
-// live reports whether a worker heartbeated recently (dedicated workers are
-// always trusted).
+// shutdown tears the fabric down after the master loop exits: close the
+// listener and every session, then fold the transport's own counters into
+// the collector (safe here — the loop no longer touches it, and Close
+// waits for this before returning).
+func (m *master) shutdown() {
+	m.lis.Close()
+	for _, s := range m.sessions {
+		if !s.alive {
+			continue
+		}
+		s.alive = false
+		close(s.done)
+		s.conn.Close()
+	}
+	if mc := m.c.cfg.Metrics; mc != nil {
+		st := m.c.tr.Stats()
+		mc.Counter(metrics.LayerTransport, "dials", "").Add(float64(st.Dials))
+		mc.Counter(metrics.LayerTransport, "sends", "").Add(float64(st.Sends))
+		mc.Counter(metrics.LayerTransport, "drops", "").Add(float64(st.Drops))
+		mc.Counter(metrics.LayerTransport, "dup_deliveries", "").Add(float64(st.Dups))
+		mc.Counter(metrics.LayerTransport, "delayed_deliveries", "").Add(float64(st.Delays))
+		mc.Counter(metrics.LayerTransport, "conn_resets", "").Add(float64(st.Resets))
+		m.mRetries.Add(float64(m.c.retries.Load()))
+	}
+}
+
+// live reports whether a worker holds a living session with a fresh lease
+// (dedicated workers never churn, so their session alone is trusted).
 func (m *master) live(worker int) bool {
+	s := m.sessions[worker]
+	if s == nil || !s.alive {
+		return false
+	}
 	if m.c.workers[worker].dedicated {
 		return true
 	}
-	return time.Since(m.lastBeat[worker]) < m.c.cfg.SuspensionTimeout
+	return time.Since(s.lastBeat) < m.link.LeaseDuration
 }
 
 // refreshInactive recounts, per running job, the outstanding attempts
@@ -417,155 +804,77 @@ func (m *master) noteLaunch(j *liveJob) {
 	}
 }
 
-// launchMap sends a map attempt to a worker.
+// launchMap assigns a map attempt to a worker's current session.
 func (m *master) launchMap(j *liveJob, t *taskState, workerID int) {
+	s := m.sessions[workerID] // non-nil: the caller picked a live worker
 	attempt := t.nextAttempt
 	t.nextAttempt++
-	t.outstanding = append(t.outstanding, attemptRef{attempt: attempt, worker: workerID, started: time.Now()})
+	t.outstanding = append(t.outstanding, attemptRef{attempt: attempt, worker: workerID, session: s.id, started: time.Now()})
 	m.noteLaunch(j)
 	j.stats.MapAttempts++
 	m.mMapAttempts.IncAt(m.elapsed())
-	input := j.spec.Inputs[t.id]
-	job := j.spec
-	cfg := m.c.cfg
-	var dedicatedStore *worker
-	if cfg.ReplicateToDedicated {
+	replicateTo := -1
+	if m.c.cfg.ReplicateToDedicated {
 		for _, w := range m.c.workers {
 			if w.dedicated {
-				dedicatedStore = w
+				replicateTo = w.id
 				break
 			}
 		}
 	}
-	events := m.events
-	closed := m.c.closed
-	lj := j
-	jobID := j.id
-	mapID := t.id
-	m.c.workers[workerID].tasks <- task{run: func(w *worker) {
-		parts := make([]map[string][]string, job.Reduces)
-		for p := range parts {
-			parts[p] = make(map[string][]string)
-		}
-		job.Map(input, func(key, value string) {
-			w.gate.wait() // suspension checkpoint at emission granularity
-			p := partitionOf(key, job.Reduces)
-			parts[p][key] = append(parts[p][key], value)
-		})
-		w.gate.wait()
-		holders := []int{w.id}
-		for p, data := range parts {
-			w.putPartition(jobID, mapID, attempt, p, data)
-			if dedicatedStore != nil && dedicatedStore != w {
-				dedicatedStore.putPartition(jobID, mapID, attempt, p, data)
-			}
-		}
-		if dedicatedStore != nil && dedicatedStore.id != w.id {
-			holders = append(holders, dedicatedStore.id)
-		}
-		select {
-		case events <- masterEvent{kind: evMapDone, job: lj, taskID: mapID, attempt: attempt, worker: w.id, holders: holders}:
-		case <-closed:
-		}
-	}}
+	m.assign(s, assignment{
+		jobID:       j.id,
+		taskID:      t.id,
+		attempt:     attempt,
+		reduces:     j.spec.Reduces,
+		input:       j.spec.Inputs[t.id],
+		mapFn:       j.spec.Map,
+		replicateTo: replicateTo,
+	})
 }
 
-// launchReduce sends a reduce attempt with a snapshot of the job's winning
-// map attempts and their holders.
+// launchReduce assigns a reduce attempt with a snapshot of the job's
+// winning map attempts and their holders.
 func (m *master) launchReduce(j *liveJob, t *taskState, workerID int) {
+	s := m.sessions[workerID]
 	attempt := t.nextAttempt
 	t.nextAttempt++
-	t.outstanding = append(t.outstanding, attemptRef{attempt: attempt, worker: workerID, started: time.Now()})
+	t.outstanding = append(t.outstanding, attemptRef{attempt: attempt, worker: workerID, session: s.id, started: time.Now()})
 	m.noteLaunch(j)
 	j.stats.ReduceAttempts++
 	m.mRedAttempts.IncAt(m.elapsed())
 
-	type source struct {
-		mapID, attempt int
-		holders        []int
-	}
-	plan := make([]source, 0, len(j.maps))
+	sources := make([]reduceSource, 0, len(j.maps))
 	for _, mt := range j.maps {
-		plan = append(plan, source{mapID: mt.id, attempt: mt.winAttempt, holders: append([]int(nil), mt.holders...)})
+		sources = append(sources, reduceSource{mapID: mt.id, attempt: mt.winAttempt, holders: append([]int(nil), mt.holders...)})
 	}
-	job := j.spec
-	cfg := m.c.cfg
-	events := m.events
-	closed := m.c.closed
-	workers := m.c.workers
-	lj := j
-	jobID := j.id
-	partition := t.id
-	reduceID := t.id
-	m.c.workers[workerID].tasks <- task{run: func(w *worker) {
-		merged := make(map[string][]string)
-		var missing []int
-		for _, src := range plan {
-			w.gate.wait()
-			var data map[string][]string
-			got := false
-			for _, h := range src.holders {
-				if h == w.id {
-					w.storeMu.Lock()
-					d, ok := w.store[storeKey{jobID, src.mapID, src.attempt, partition}]
-					w.storeMu.Unlock()
-					if ok {
-						data, got = d, true
-						break
-					}
-					continue
-				}
-				reply := make(chan fetchResp, 1)
-				select {
-				case workers[h].fetches <- fetchReq{job: jobID, mapID: src.mapID, attempt: src.attempt, partition: partition, reply: reply}:
-				default:
-					continue // holder's queue jammed; try next
-				}
-				select {
-				case resp := <-reply:
-					if resp.ok {
-						data, got = resp.data, true
-					}
-				case <-time.After(cfg.FetchTimeout):
-				}
-				if got {
-					break
-				}
-			}
-			if !got {
-				missing = append(missing, src.mapID)
-				continue
-			}
-			for k, vs := range data {
-				merged[k] = append(merged[k], vs...)
-			}
-		}
-		if len(missing) > 0 {
-			select {
-			case events <- masterEvent{kind: evReduceStuck, job: lj, taskID: reduceID, attempt: attempt, worker: w.id, missing: missing}:
-			case <-closed:
-			}
-			return
-		}
-		out := make(map[string]string, len(merged))
-		for _, k := range sortedKeys(merged) {
-			w.gate.wait()
-			out[k] = job.Reduce(k, merged[k])
-		}
-		select {
-		case events <- masterEvent{kind: evReduceDone, job: lj, taskID: reduceID, attempt: attempt, worker: w.id, output: out}:
-		case <-closed:
-		}
-	}}
+	m.assign(s, assignment{
+		jobID:       j.id,
+		taskID:      t.id,
+		attempt:     attempt,
+		isReduce:    true,
+		reduces:     j.spec.Reduces,
+		reduceFn:    j.spec.Reduce,
+		sources:     sources,
+		replicateTo: -1,
+	})
+}
+
+// assign registers one assignment as pending and sends it.
+func (m *master) assign(s *session, a assignment) {
+	s.nextAssignID++
+	msg := msgAssign{id: s.nextAssignID, session: s.id, task: a}
+	s.pending[msg.id] = &pendingAssign{msg: msg, sentAt: time.Now()}
+	m.enqueue(s, msg)
 }
 
 // handle integrates one worker event.
 func (m *master) handle(ev masterEvent) {
 	j := ev.job
 	if j.cleared {
-		// Every launched attempt reports exactly once and clearing waits
-		// for the last retire, so this cannot fire — but a cleared job's
-		// task slices are released, so never index into them.
+		// handleEvent filters cleared jobs, and clearing waits for the
+		// last accounted attempt — but a cleared job's task slices are
+		// released, so never index into them.
 		return
 	}
 	switch ev.kind {
@@ -663,12 +972,16 @@ func (m *master) finishJob(j *liveJob) {
 // dead. The cluster is long-lived, so without this every finished job
 // would pin its task states and results for the cluster's lifetime. The
 // liveJob shell itself stays queued — Jobs() remains the audit surface
-// and duplicate-name checks skip terminal jobs anyway.
+// and duplicate-name checks skip terminal jobs anyway. Marking the job in
+// the cleared set first fences stale attempts still executing: their
+// late putPartition writes are refused, so the sweep is final.
 func (m *master) clearJob(j *liveJob) {
 	if j.cleared {
 		return
 	}
 	j.cleared = true
+	delete(m.jobsByID, j.id)
+	m.c.cleared.mark(j.id)
 	for _, w := range m.c.workers {
 		w.clearJob(j.id)
 	}

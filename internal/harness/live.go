@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // LiveConfig shapes a live-engine sweep cell: the goroutine worker pool,
@@ -50,6 +51,16 @@ type LiveConfig struct {
 
 	// Timeout bounds one cell's wall-clock execution.
 	Timeout time.Duration
+
+	// Link tunes the engine's failure-handling protocol (per-operation
+	// timeouts, retries, lease and session clocks); zero fields inherit
+	// the engine defaults.
+	Link transport.LinkConfig
+	// Faults, when non-nil, runs every cell's cluster over a
+	// fault-injecting transport (seeded drops, duplicates, delays,
+	// connection resets, timed partitions). Nil keeps the lossless
+	// loopback fabric.
+	Faults *transport.FaultConfig
 }
 
 // DefaultLiveConfig returns a small hybrid pool replaying 120 simulated
@@ -66,6 +77,21 @@ func DefaultLiveConfig() LiveConfig {
 		ReducesPerJob:    3,
 		Timeout:          2 * time.Minute,
 	}
+}
+
+// Validate builds the engine configuration exactly as a cell would and
+// runs its validation, so link/fault mistakes (heartbeat not shorter than
+// the suspension timeout, malformed rates or partition windows) surface at
+// compile time rather than mid-sweep.
+func (lc LiveConfig) Validate() error {
+	lc = lc.withDefaults()
+	ecfg := engine.DefaultConfig()
+	ecfg.VolatileWorkers = lc.VolatileWorkers
+	ecfg.DedicatedWorkers = lc.DedicatedWorkers
+	ecfg.ReplicateToDedicated = !lc.NoDedicatedReplication
+	ecfg.Link = lc.Link
+	ecfg.Faults = lc.Faults
+	return ecfg.Validate()
 }
 
 func (lc LiveConfig) withDefaults() LiveConfig {
@@ -233,6 +259,8 @@ func (c Config) runLiveSeed(lc LiveConfig, v LiveVariant, rate float64, seed uin
 	ecfg.ReplicateToDedicated = !lc.NoDedicatedReplication
 	ecfg.JobPolicy = v.Policy
 	ecfg.JobWeights = v.Weights
+	ecfg.Link = lc.Link
+	ecfg.Faults = lc.Faults
 	var col *metrics.Collector
 	if c.MetricsBucket > 0 {
 		col = metrics.New(c.MetricsBucket)

@@ -43,12 +43,12 @@ func HistogramBounds() []float64 {
 // methods on a nil histogram are no-ops, so instrumented code runs
 // bit-identically and allocation-free with collection off.
 type Histogram struct {
-	key     Key
-	counts  []int64 // len HistBuckets+1; last is overflow
-	sum     float64
-	count   int64
-	min     float64
-	max     float64
+	key    Key
+	counts []int64 // len HistBuckets+1; last is overflow
+	sum    float64
+	count  int64
+	min    float64
+	max    float64
 }
 
 // Histogram returns the histogram registered under (layer, name, scope),

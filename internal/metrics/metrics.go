@@ -41,6 +41,11 @@ const (
 	LayerDFS     Layer = "dfs"
 	LayerMapred  Layer = "mapred"
 	LayerEngine  Layer = "engine"
+	// LayerTransport owns the live engine's message-fabric instruments:
+	// traffic and injected-fault counts plus the failure-handling
+	// protocol's lease expiries, session resets, retries and
+	// duplicate-result discards.
+	LayerTransport Layer = "transport"
 )
 
 // Key names one instrument: the owning layer, the metric name, and an

@@ -22,6 +22,7 @@ func Builtins() []*Spec {
 		weightedSkew(),
 		expirySweep(),
 		liveMix(),
+		chaosLive(),
 	}
 }
 
@@ -188,6 +189,52 @@ func liveMix() *Spec {
 				Jobs:       3,
 				Policies:   []string{"fifo", "fair", "priority"},
 				Priorities: map[string]int{"live-j2": 5},
+			},
+		}},
+	}
+}
+
+// chaosLive is live-mix on a hostile fabric: the same concurrent word
+// counts, but every master↔worker message rides the fault-injecting
+// transport — seeded drops, duplicates, delays, rare connection resets and
+// a timed partition cutting worker 1 — with sessions that expire on
+// silence. Results must still be exact; the transport metrics show the
+// retry/lease/session machinery earning its keep.
+func chaosLive() *Spec {
+	return &Spec{
+		Schema:      Schema,
+		Name:        "chaos-live",
+		Description: "Live engine under injected faults: drops, dups, delays, resets and a partition window; exact results required.",
+		Execution:   "live",
+		Live: &LiveSpec{
+			VolatileWorkers:  4,
+			DedicatedWorkers: 2,
+			HorizonSeconds:   120,
+			CompressionMS:    1,
+			SplitsPerJob:     6,
+			WordsPerSplit:    200,
+			ReducesPerJob:    2,
+			Link: &LinkSpec{
+				SessionExpiryMS: 150,
+			},
+			Faults: &FaultSpec{
+				Seed:      42,
+				DropRate:  0.03,
+				DupRate:   0.03,
+				DelayRate: 0.03,
+				DelayMS:   1,
+				ResetRate: 0.002,
+				Partitions: []PartitionSpec{
+					{StartMS: 100, DurationMS: 80, Workers: []int{1}},
+				},
+			},
+		},
+		Metrics: MetricsSpec{BucketSeconds: 1},
+		Experiments: []Experiment{{
+			App: "wordcount",
+			Multi: &MultiExperiment{
+				Jobs:     3,
+				Policies: []string{"fair"},
 			},
 		}},
 	}

@@ -7,10 +7,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dfs"
+	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/mapred"
 	"repro/internal/metrics"
 	"repro/internal/trace"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -87,37 +89,81 @@ func Compile(s *Spec) (*Plan, error) {
 	return p, nil
 }
 
+// liveConfig lowers the LiveSpec to the harness.LiveConfig every cell of
+// a live sweep runs (zero fields keep the harness defaults); compileLive
+// fills in the job count. Validation reuses this lowering, so a spec that
+// validates is exactly a spec whose lowered engine configuration does.
+func (l *LiveSpec) liveConfig() harness.LiveConfig {
+	lc := harness.DefaultLiveConfig()
+	if l == nil {
+		return lc
+	}
+	if l.VolatileWorkers > 0 || l.DedicatedWorkers > 0 {
+		lc.VolatileWorkers, lc.DedicatedWorkers = l.VolatileWorkers, l.DedicatedWorkers
+	}
+	lc.NoDedicatedReplication = l.NoDedicatedReplication
+	if l.HorizonSeconds > 0 {
+		lc.HorizonSeconds = l.HorizonSeconds
+	}
+	if l.CompressionMS > 0 {
+		lc.Compression = millis(l.CompressionMS)
+	}
+	if l.SplitsPerJob > 0 {
+		lc.SplitsPerJob = l.SplitsPerJob
+	}
+	if l.WordsPerSplit > 0 {
+		lc.WordsPerSplit = l.WordsPerSplit
+	}
+	if l.ReducesPerJob > 0 {
+		lc.ReducesPerJob = l.ReducesPerJob
+	}
+	if l.TimeoutSeconds > 0 {
+		lc.Timeout = time.Duration(l.TimeoutSeconds * float64(time.Second))
+	}
+	if lk := l.Link; lk != nil {
+		lc.Link = transport.LinkConfig{
+			ConnectTimeout:    millis(lk.ConnectTimeoutMS),
+			SendTimeout:       millis(lk.SendTimeoutMS),
+			RecvTimeout:       millis(lk.RecvTimeoutMS),
+			HeartbeatInterval: millis(lk.HeartbeatIntervalMS),
+			LeaseDuration:     millis(lk.LeaseDurationMS),
+			MaxRetries:        lk.MaxRetries,
+			RetryBackoff:      millis(lk.RetryBackoffMS),
+			SessionExpiry:     millis(lk.SessionExpiryMS),
+		}
+	}
+	if f := l.Faults; f != nil {
+		fc := &transport.FaultConfig{
+			Seed:      f.Seed,
+			DropRate:  f.DropRate,
+			DupRate:   f.DupRate,
+			DelayRate: f.DelayRate,
+			Delay:     millis(f.DelayMS),
+			ResetRate: f.ResetRate,
+		}
+		for _, p := range f.Partitions {
+			tp := transport.Partition{Start: millis(p.StartMS), Duration: millis(p.DurationMS)}
+			for _, w := range p.Workers {
+				tp.Addrs = append(tp.Addrs, engine.WorkerAddr(w))
+			}
+			fc.Partitions = append(fc.Partitions, tp)
+		}
+		lc.Faults = fc
+	}
+	return lc
+}
+
+func millis(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
 // compileLive lowers one live multi-job experiment: the LiveSpec becomes a
 // harness.LiveConfig (zero fields keep the harness defaults) and the
 // policy list becomes live variant lines.
 func compileLive(e *Experiment, l *LiveSpec) (PlanRun, error) {
 	m := e.Multi
-	lc := harness.DefaultLiveConfig()
+	lc := l.liveConfig()
 	lc.Jobs = m.Jobs
-	if l != nil {
-		if l.VolatileWorkers > 0 || l.DedicatedWorkers > 0 {
-			lc.VolatileWorkers, lc.DedicatedWorkers = l.VolatileWorkers, l.DedicatedWorkers
-		}
-		lc.NoDedicatedReplication = l.NoDedicatedReplication
-		if l.HorizonSeconds > 0 {
-			lc.HorizonSeconds = l.HorizonSeconds
-		}
-		if l.CompressionMS > 0 {
-			lc.Compression = time.Duration(l.CompressionMS * float64(time.Millisecond))
-		}
-		if l.SplitsPerJob > 0 {
-			lc.SplitsPerJob = l.SplitsPerJob
-		}
-		if l.WordsPerSplit > 0 {
-			lc.WordsPerSplit = l.WordsPerSplit
-		}
-		if l.ReducesPerJob > 0 {
-			lc.ReducesPerJob = l.ReducesPerJob
-		}
-		if l.TimeoutSeconds > 0 {
-			lc.Timeout = time.Duration(l.TimeoutSeconds * float64(time.Second))
-		}
-	}
 	// Validate() already resolved every policy name; LiveVariants attaches
 	// weights/priorities to the policies that read them.
 	return PlanRun{

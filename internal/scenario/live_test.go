@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/engine"
 )
 
 func liveSpec() *Spec {
@@ -66,6 +68,23 @@ func TestLiveSpecValidationRejections(t *testing.T) {
 		{"priorities without priority policy", func(s *Spec) { s.Experiments[0].Multi.Policies = []string{"fifo"} }},
 		{"negative live horizon", func(s *Spec) { s.Live.HorizonSeconds = -1 }},
 		{"negative live workers", func(s *Spec) { s.Live.VolatileWorkers = -2 }},
+		{"drop rate above one", func(s *Spec) { s.Live.Faults = &FaultSpec{DropRate: 1.5} }},
+		{"negative reset rate", func(s *Spec) { s.Live.Faults = &FaultSpec{ResetRate: -0.1} }},
+		{"delay rate without delay", func(s *Spec) { s.Live.Faults = &FaultSpec{DelayRate: 0.1} }},
+		{"zero-duration partition", func(s *Spec) {
+			s.Live.Faults = &FaultSpec{Partitions: []PartitionSpec{{StartMS: 10}}}
+		}},
+		{"negative partition worker", func(s *Spec) {
+			s.Live.Faults = &FaultSpec{Partitions: []PartitionSpec{{DurationMS: 10, Workers: []int{-1}}}}
+		}},
+		{"heartbeat at the lease", func(s *Spec) {
+			s.Live.Link = &LinkSpec{HeartbeatIntervalMS: 50, LeaseDurationMS: 50}
+		}},
+		{"session expiry below the lease", func(s *Spec) {
+			s.Live.Link = &LinkSpec{LeaseDurationMS: 50, SessionExpiryMS: 20}
+		}},
+		{"negative link retries", func(s *Spec) { s.Live.Link = &LinkSpec{MaxRetries: -1} }},
+		{"negative link timeout", func(s *Spec) { s.Live.Link = &LinkSpec{SendTimeoutMS: -5} }},
 	}
 	for _, tc := range cases {
 		s := liveSpec()
@@ -124,6 +143,65 @@ func TestCompileLiveLowersPlan(t *testing.T) {
 	}
 	if vs[0].Priorities != nil || vs[1].Priorities != nil {
 		t.Fatal("priorities leaked onto non-priority variants")
+	}
+}
+
+// TestFaultsRequireLiveExecution: a faults block under the simulator is a
+// category error (the simulator has no message fabric), called out by name
+// rather than folded into the generic live-settings rejection.
+func TestFaultsRequireLiveExecution(t *testing.T) {
+	s := liveSpec()
+	s.Execution = "sim"
+	s.Experiments[0].Multi.Priorities = nil
+	s.Live.Faults = &FaultSpec{Seed: 1, DropRate: 0.1}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("faults block under sim execution validated")
+	}
+	if !strings.Contains(err.Error(), "faults") {
+		t.Fatalf("error does not name the faults block: %v", err)
+	}
+}
+
+// TestCompileChaosLiveLowersFaults pins the chaos-live builtin's lowering:
+// the faults block becomes a transport.FaultConfig on the cell config, with
+// partition worker indices resolved to transport addresses, and the link
+// block carries the session-expiry clock.
+func TestCompileChaosLiveLowersFaults(t *testing.T) {
+	s, ok := Lookup("chaos-live")
+	if !ok {
+		t.Fatal("chaos-live builtin missing")
+	}
+	plan, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Runs) != 1 || plan.Runs[0].Live == nil {
+		t.Fatalf("chaos-live plan shape: %+v", plan.Runs)
+	}
+	lc := plan.Runs[0].Live.Config
+	if lc.Link.SessionExpiry != 150*time.Millisecond {
+		t.Fatalf("session expiry %v, want 150ms", lc.Link.SessionExpiry)
+	}
+	f := lc.Faults
+	if f == nil {
+		t.Fatal("faults block lost in lowering")
+	}
+	if f.Seed != 42 || f.DropRate != 0.03 || f.Delay != time.Millisecond {
+		t.Fatalf("fault config %+v", f)
+	}
+	if len(f.Partitions) != 1 {
+		t.Fatalf("partitions %+v", f.Partitions)
+	}
+	p := f.Partitions[0]
+	if p.Start != 100*time.Millisecond || p.Duration != 80*time.Millisecond {
+		t.Fatalf("partition window %+v", p)
+	}
+	if len(p.Addrs) != 1 || p.Addrs[0] != engine.WorkerAddr(1) {
+		t.Fatalf("partition addrs %v, want [%s]", p.Addrs, engine.WorkerAddr(1))
+	}
+	if err := lc.Validate(); err != nil {
+		t.Fatalf("lowered chaos config invalid: %v", err)
 	}
 }
 

@@ -117,6 +117,70 @@ type LiveSpec struct {
 	ReducesPerJob int `json:"reduces_per_job,omitempty"`
 	// TimeoutSeconds bounds one cell's wall-clock execution.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Link tunes the engine's failure-handling protocol (per-operation
+	// deadlines, retries, heartbeat lease and session clocks). Zero
+	// fields keep the engine defaults.
+	Link *LinkSpec `json:"link,omitempty"`
+	// Faults runs every cell over the fault-injecting transport (seeded
+	// drops, duplicates, delays, connection resets, timed partitions).
+	// Only valid with execution "live": the simulator models churn, not
+	// a lossy message fabric.
+	Faults *FaultSpec `json:"faults,omitempty"`
+}
+
+// LinkSpec is the failure-handling protocol's knob block, in milliseconds.
+// Zero fields inherit the engine defaults (50 ms operation deadlines,
+// heartbeat/lease from the engine's churn clocks, 3 retries backing off
+// from 2 ms, sessions that never expire on silence).
+type LinkSpec struct {
+	// ConnectTimeoutMS bounds one dial including its handshake.
+	ConnectTimeoutMS float64 `json:"connect_timeout_ms,omitempty"`
+	// SendTimeoutMS / RecvTimeoutMS bound one message operation.
+	SendTimeoutMS float64 `json:"send_timeout_ms,omitempty"`
+	RecvTimeoutMS float64 `json:"recv_timeout_ms,omitempty"`
+	// HeartbeatIntervalMS is the worker's lease-refresh period; it must
+	// stay below LeaseDurationMS.
+	HeartbeatIntervalMS float64 `json:"heartbeat_interval_ms,omitempty"`
+	// LeaseDurationMS is how long a heartbeat keeps a volatile worker's
+	// lease fresh; silence beyond it marks the worker suspended.
+	LeaseDurationMS float64 `json:"lease_duration_ms,omitempty"`
+	// MaxRetries bounds the resends of one unacknowledged message.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// RetryBackoffMS is the initial resend backoff; it doubles per retry.
+	RetryBackoffMS float64 `json:"retry_backoff_ms,omitempty"`
+	// SessionExpiryMS evicts a session silent this long; the worker must
+	// rejoin under a new session and its stale results are discarded.
+	// Zero never expires sessions.
+	SessionExpiryMS float64 `json:"session_expiry_ms,omitempty"`
+}
+
+// FaultSpec parameterizes the deterministic fault injector: every
+// per-message decision is a pure function of (seed, connection, sequence
+// number), so one seed pins one reproducible fault schedule.
+type FaultSpec struct {
+	// Seed selects the fault schedule.
+	Seed uint64 `json:"seed,omitempty"`
+	// DropRate / DupRate / DelayRate / ResetRate are per-message
+	// probabilities in [0, 1].
+	DropRate  float64 `json:"drop_rate,omitempty"`
+	DupRate   float64 `json:"dup_rate,omitempty"`
+	DelayRate float64 `json:"delay_rate,omitempty"`
+	// DelayMS is how late a delay-selected message arrives.
+	DelayMS   float64 `json:"delay_ms,omitempty"`
+	ResetRate float64 `json:"reset_rate,omitempty"`
+	// Partitions are timed windows during which matching links drop
+	// every message, both directions.
+	Partitions []PartitionSpec `json:"partitions,omitempty"`
+}
+
+// PartitionSpec is one timed partition window, relative to cluster start.
+type PartitionSpec struct {
+	StartMS float64 `json:"start_ms,omitempty"`
+	// DurationMS must be positive.
+	DurationMS float64 `json:"duration_ms"`
+	// Workers lists the cut workers by index; empty cuts every link
+	// (the master included).
+	Workers []int `json:"workers,omitempty"`
 }
 
 // MetricsSpec configures cross-layer metrics collection.
@@ -428,6 +492,12 @@ func (s *Spec) Validate() error {
 	live := false
 	switch s.Execution {
 	case "", "sim":
+		if s.Live != nil && s.Live.Faults != nil {
+			// Name the sharper mistake first: fault injection exercises
+			// the live engine's transport; the simulator has no message
+			// fabric to make flaky.
+			return fmt.Errorf("scenario: %q has a faults block but execution %q (fault injection needs \"execution\": \"live\")", s.Name, s.Execution)
+		}
 		if s.Live != nil {
 			return fmt.Errorf("scenario: %q has live settings but execution %q (want \"live\")", s.Name, s.Execution)
 		}
@@ -471,6 +541,46 @@ func (l *LiveSpec) validate() error {
 	}
 	if l.SplitsPerJob < 0 || l.WordsPerSplit < 0 || l.ReducesPerJob < 0 {
 		return fmt.Errorf("live job sizing must be >= 0")
+	}
+	if lk := l.Link; lk != nil {
+		for name, v := range map[string]float64{
+			"connect_timeout_ms":    lk.ConnectTimeoutMS,
+			"send_timeout_ms":       lk.SendTimeoutMS,
+			"recv_timeout_ms":       lk.RecvTimeoutMS,
+			"heartbeat_interval_ms": lk.HeartbeatIntervalMS,
+			"lease_duration_ms":     lk.LeaseDurationMS,
+			"retry_backoff_ms":      lk.RetryBackoffMS,
+			"session_expiry_ms":     lk.SessionExpiryMS,
+		} {
+			if v < 0 || math.IsNaN(v) {
+				return fmt.Errorf("live link %s %v (want >= 0)", name, v)
+			}
+		}
+		if lk.MaxRetries < 0 {
+			return fmt.Errorf("live link max_retries %d (want >= 0)", lk.MaxRetries)
+		}
+	}
+	if f := l.Faults; f != nil {
+		if math.IsNaN(f.DelayMS) || f.DelayMS < 0 {
+			return fmt.Errorf("live faults delay_ms %v (want >= 0)", f.DelayMS)
+		}
+		for i, p := range f.Partitions {
+			if math.IsNaN(p.StartMS) || math.IsNaN(p.DurationMS) {
+				return fmt.Errorf("live faults partition %d has a NaN window", i)
+			}
+			for _, w := range p.Workers {
+				if w < 0 {
+					return fmt.Errorf("live faults partition %d worker index %d (want >= 0)", i, w)
+				}
+			}
+		}
+	}
+	// Deep check: lower to the engine configuration a cell would run and
+	// validate it, so clock mistakes (heartbeat at or past the lease,
+	// out-of-range fault rates, malformed partition windows) fail at
+	// compile time, not mid-sweep.
+	if err := l.liveConfig().Validate(); err != nil {
+		return err
 	}
 	return nil
 }
