@@ -6,18 +6,26 @@
 //	moonsim -app sort -policy moon-hybrid -rate 0.5 -dedicated 6
 //	moonsim -app wordcount -policy hadoop -expiry 60 -rate 0.3 -all-volatile
 //	moonsim -scenario scenarios/correlated-sort.json -variant MOON-Hybrid -rate 0.5
+//	moonsim -scenario scale-sweep -variant 528-nodes -cpuprofile cpu.out
 //	moonsim -list-scenarios
 //
 // With -scenario, moonsim runs one cell of a compiled scenario: the
 // variant selected by -variant (default: the first single-job line) at
 // the -rate/-seed cell, scaled by -scale — the drill-down view of a line
 // moonbench sweeps in aggregate.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run; a single
+// cell of the scale-sweep scenario is the intended profiling subject for
+// simulator speed work (see README "Performance").
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -29,29 +37,41 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "moonsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("moonsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		app        = flag.String("app", "sort", "sort|wordcount|sleep-sort|sleep-wordcount")
-		policy     = flag.String("policy", "moon-hybrid", "hadoop|moon|moon-hybrid")
-		expiry     = flag.Float64("expiry", 600, "Hadoop TrackerExpiryInterval (seconds)")
-		rate       = flag.Float64("rate", 0.3, "machine-unavailability rate")
-		volatiles  = flag.Int("volatile", 60, "volatile node count")
-		dedicated  = flag.Int("dedicated", 6, "dedicated node count")
-		allVol     = flag.Bool("all-volatile", false, "treat every machine as volatile (Hadoop baseline)")
-		seed       = flag.Uint64("seed", 1, "churn seed")
-		interD     = flag.Int("inter-d", 1, "intermediate dedicated replicas")
-		interV     = flag.Int("inter-v", 1, "intermediate volatile replicas")
-		scale      = flag.Int("scale", 1, "divide workload size by this factor")
-		scenFlag   = flag.String("scenario", "", "run one cell of a scenario spec (path to a .json file, or a built-in name)")
-		variant    = flag.String("variant", "", "with -scenario: the variant label to run (default: the first single-job line)")
-		listScen   = flag.Bool("list-scenarios", false, "print the built-in named scenarios and exit")
-		metricsOut = flag.String("metrics", "", "write this run's cross-layer metrics snapshot to this JSON file")
-		metricsBkt = flag.Float64("metrics-bucket", metrics.DefaultBucket, "metrics series bucket width, seconds")
+		app        = fs.String("app", "sort", "sort|wordcount|sleep-sort|sleep-wordcount")
+		policy     = fs.String("policy", "moon-hybrid", "hadoop|moon|moon-hybrid")
+		expiry     = fs.Float64("expiry", 600, "Hadoop TrackerExpiryInterval (seconds)")
+		rate       = fs.Float64("rate", 0.3, "machine-unavailability rate")
+		volatiles  = fs.Int("volatile", 60, "volatile node count")
+		dedicated  = fs.Int("dedicated", 6, "dedicated node count")
+		allVol     = fs.Bool("all-volatile", false, "treat every machine as volatile (Hadoop baseline)")
+		seed       = fs.Uint64("seed", 1, "churn seed")
+		interD     = fs.Int("inter-d", 1, "intermediate dedicated replicas")
+		interV     = fs.Int("inter-v", 1, "intermediate volatile replicas")
+		scale      = fs.Int("scale", 1, "divide workload size by this factor")
+		scenFlag   = fs.String("scenario", "", "run one cell of a scenario spec (path to a .json file, or a built-in name)")
+		variant    = fs.String("variant", "", "with -scenario: the variant label to run (default: the first single-job line)")
+		listScen   = fs.Bool("list-scenarios", false, "print the built-in named scenarios and exit")
+		metricsOut = fs.String("metrics", "", "write this run's cross-layer metrics snapshot to this JSON file")
+		metricsBkt = fs.Float64("metrics-bucket", metrics.DefaultBucket, "metrics series bucket width, seconds")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *listScen {
-		must(scenario.List(os.Stdout))
-		return
+		return scenario.List(stdout)
 	}
 
 	var (
@@ -63,20 +83,24 @@ func main() {
 	if *scenFlag != "" {
 		// The spec owns the stack and workload shape: reject the legacy
 		// shaping flags instead of silently ignoring them.
-		flag.Visit(func(f *flag.Flag) {
+		var flagErr error
+		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "app", "policy", "expiry", "volatile", "dedicated", "all-volatile", "inter-d", "inter-v":
-				fatal(fmt.Errorf("-%s shapes the run and cannot be combined with -scenario (pick a cell with -variant/-rate/-seed/-scale)", f.Name))
+				flagErr = fmt.Errorf("-%s shapes the run and cannot be combined with -scenario (pick a cell with -variant/-rate/-seed/-scale)", f.Name)
 			}
 		})
+		if flagErr != nil {
+			return flagErr
+		}
 		var err error
 		spec, err = scenario.Load(*scenFlag)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		v, err := pickVariant(spec, *variant)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		label = v.Label
 		opts, w = v.Build(core.ClusterSpec{UnavailabilityRate: *rate, Seed: *seed})
@@ -96,7 +120,7 @@ func main() {
 		case "moon-hybrid":
 			opts = core.MOONPreset(cs, true)
 		default:
-			fatal(fmt.Errorf("unknown policy %q", *policy))
+			return fmt.Errorf("unknown policy %q", *policy)
 		}
 
 		slots := (*volatiles + *dedicated) * 2
@@ -110,11 +134,23 @@ func main() {
 		case "sleep-wordcount":
 			w = workload.SleepApp(workload.WordCount())
 		default:
-			fatal(fmt.Errorf("unknown app %q", *app))
+			return fmt.Errorf("unknown app %q", *app)
 		}
 		w.Job.IntermediateFactor = dfs.Factor{D: *interD, V: *interV}
 	}
 	w = workload.Scale(w, *scale)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var col *metrics.Collector
 	if *metricsOut != "" {
@@ -123,12 +159,28 @@ func main() {
 	}
 	s, err := core.NewForWorkload(opts, w)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	res, err := s.RunWorkload(w)
 	if err != nil {
-		fatal(err)
+		return err
 	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle retained heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
 	if col != nil {
 		report := metrics.NewExport("moonsim")
 		if spec != nil {
@@ -138,32 +190,33 @@ func main() {
 		report.Add(fmt.Sprintf("moonsim %s", w.Job.Name), label, *rate, 1, col.Snapshot())
 		f, err := os.Create(*metricsOut)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := report.WriteJSON(f); err != nil {
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	p := res.Profile
-	fmt.Printf("job            %s (policy %s, rate %.2f, %dV+%dD, seed %d)\n",
+	fmt.Fprintf(stdout, "job            %s (policy %s, rate %.2f, %dV+%dD, seed %d)\n",
 		p.Job, label, *rate, opts.Cluster.VolatileNodes, opts.Cluster.DedicatedNodes, *seed)
-	fmt.Printf("state          %v%s\n", p.State, capped(res.HitHorizon))
-	fmt.Printf("makespan       %.0f s\n", p.Makespan)
-	fmt.Printf("avg map        %.1f s\n", p.AvgMapTime)
-	fmt.Printf("avg shuffle    %.1f s\n", p.AvgShuffleTime)
-	fmt.Printf("avg reduce     %.1f s\n", p.AvgReduceTime)
-	fmt.Printf("killed maps    %d\n", p.KilledMaps)
-	fmt.Printf("killed reduces %d\n", p.KilledReduces)
-	fmt.Printf("duplicated     %d\n", p.DuplicatedTasks)
-	fmt.Printf("invalidations  %d\n", p.MapInvalidations)
-	fmt.Printf("dfs            declines=%d adaptiveRaises=%d hibernations=%d expirations=%d\n",
+	fmt.Fprintf(stdout, "state          %v%s\n", p.State, capped(res.HitHorizon))
+	fmt.Fprintf(stdout, "makespan       %.0f s\n", p.Makespan)
+	fmt.Fprintf(stdout, "avg map        %.1f s\n", p.AvgMapTime)
+	fmt.Fprintf(stdout, "avg shuffle    %.1f s\n", p.AvgShuffleTime)
+	fmt.Fprintf(stdout, "avg reduce     %.1f s\n", p.AvgReduceTime)
+	fmt.Fprintf(stdout, "killed maps    %d\n", p.KilledMaps)
+	fmt.Fprintf(stdout, "killed reduces %d\n", p.KilledReduces)
+	fmt.Fprintf(stdout, "duplicated     %d\n", p.DuplicatedTasks)
+	fmt.Fprintf(stdout, "invalidations  %d\n", p.MapInvalidations)
+	fmt.Fprintf(stdout, "dfs            declines=%d adaptiveRaises=%d hibernations=%d expirations=%d\n",
 		res.DFS.DedicatedDeclines, res.DFS.AdaptiveRaises, res.DFS.Hibernations, res.DFS.Expirations)
-	fmt.Printf("replication    %d transfers, %.2f GB (thrash %d), trimmed %d\n",
+	fmt.Fprintf(stdout, "replication    %d transfers, %.2f GB (thrash %d), trimmed %d\n",
 		res.DFS.ReplicationsIssued, res.DFS.ReplicationBytes/1e9, res.DFS.ThrashReplications, res.DFS.TrimmedReplicas)
-	fmt.Printf("read stalls    %d, fetch failures %d\n", res.DFS.ReadStalls, res.DFS.FetchFailures)
+	fmt.Fprintf(stdout, "read stalls    %d, fetch failures %d\n", res.DFS.ReadStalls, res.DFS.FetchFailures)
+	return nil
 }
 
 // pickVariant compiles the scenario and selects one single-job variant by
@@ -206,15 +259,4 @@ func capped(hit bool) string {
 		return " (hit simulation horizon)"
 	}
 	return ""
-}
-
-func must(err error) {
-	if err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "moonsim:", err)
-	os.Exit(1)
 }

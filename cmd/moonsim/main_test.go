@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunProfileFlags drives a real (scaled-down) run with both pprof
+// flags and checks the profiles land on disk.
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-app", "sleep-wordcount", "-scale", "8",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "makespan") {
+		t.Errorf("missing profile output, got:\n%s", out.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestRunFlagErrors pins the rejection surface: bad values, shaping flags
+// combined with -scenario, and live specs (which moonsim cannot run, with
+// or without profiling).
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown policy", []string{"-policy", "nope"}, `unknown policy "nope"`},
+		{"unknown app", []string{"-app", "nope"}, `unknown app "nope"`},
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"scenario+app", []string{"-scenario", "scale-sweep", "-app", "sort"},
+			"-app shapes the run and cannot be combined with -scenario"},
+		{"scenario+policy", []string{"-scenario", "scale-sweep", "-policy", "moon"},
+			"-policy shapes the run and cannot be combined with -scenario"},
+		{"unknown scenario", []string{"-scenario", "no-such-spec"},
+			`unknown scenario "no-such-spec"`},
+		{"unknown variant", []string{"-scenario", "scale-sweep", "-variant", "nope"},
+			`has no variant "nope"`},
+		{"live scenario", []string{"-scenario", "live-mix"},
+			"runs the live engine; run it with moonbench -scenario"},
+		{"live scenario with profiling", []string{"-scenario", "live-mix", "-cpuprofile", "x.out"},
+			"runs the live engine; run it with moonbench -scenario"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			err := run(tc.args, &out, &errb)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("run(%v) error = %q, want substring %q", tc.args, err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// TestRunScenarioCell runs one cell of the shipped scale-sweep scenario end
+// to end — the profiling subject documented in README "Performance".
+func TestRunScenarioCell(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run([]string{
+		"-scenario", "scale-sweep", "-variant", "66-nodes", "-scale", "16",
+	}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "policy 66-nodes") {
+		t.Errorf("expected variant label in output, got:\n%s", got)
+	}
+	if !strings.Contains(got, "60V+6D") {
+		t.Errorf("expected 60V+6D fleet in output, got:\n%s", got)
+	}
+}
+
+// TestListScenarios checks -list-scenarios includes the scale-sweep entry.
+func TestListScenarios(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list-scenarios"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "scale-sweep") {
+		t.Errorf("-list-scenarios output missing scale-sweep:\n%s", out.String())
+	}
+}

@@ -11,6 +11,19 @@
 // volatile-to-dedicated ratios (the paper's one regression case) and what
 // the Algorithm 1 throttler measures.
 //
+// Rate settling is batched per simulation instant: an endpoint change marks
+// the node dirty, and one settle pass — run by a sim.Barrier before the
+// clock leaves the instant — recomputes rates once per affected flow
+// instead of once per change. Under fan-in (k flows starting at one node in
+// one instant) that is O(k) settles instead of the O(k²) the eager
+// per-change recompute paid. Zero simulated time passes between the change
+// and the flush, so no intermediate rate is ever observable; dirty nodes
+// are processed in first-marked order and flows in list order, which keeps
+// the floating-point accumulation order of settled bytes — and therefore
+// every run byte-identical to the eager schedule. Reads (Consumed,
+// TotalBytes, ActiveFlows) and flow completion flush first, so observers
+// never see a half-settled instant.
+//
 // A flow with an unavailable endpoint makes no progress; if the outage lasts
 // longer than the configured stall timeout the flow fails with ErrStalled,
 // modeling the client-side timeouts the paper describes for I/O against
@@ -72,6 +85,11 @@ type Flow struct {
 	completion sim.Event
 	stall      sim.Event
 	finished   bool
+
+	// completionAt/dueIdx locate the flow in the network's completion-time
+	// index while a completion event is scheduled; dueIdx is -1 otherwise.
+	completionAt float64
+	dueIdx       int
 }
 
 // Remaining returns the bytes not yet transferred (settled to the last rate
@@ -94,10 +112,39 @@ type Network struct {
 	nodes  []*nodeState
 	nextID uint64
 
-	// scratch is a stack of reusable flow buffers for update iteration
-	// (refresh can re-enter updateNode via finish, so one buffer is not
-	// enough; a stack keeps nesting safe without per-event allocation).
+	// scratch is a stack of reusable flow buffers for settle iteration
+	// (refresh can re-enter the settle pass via finish, so one buffer is
+	// not enough; a stack keeps nesting safe without per-event allocation).
 	scratch [][]*Flow
+
+	// dirty queues nodes whose flow sets or availability changed this
+	// instant, in first-marked order; inDirty dedups membership. flush
+	// drains it once per instant (or on read / at flow completion).
+	dirty    []int
+	inDirty  []bool
+	flushing bool
+
+	// flowsAt indexes live flows by the exact time of their scheduled
+	// completion event. At each instant, flows whose completion falls
+	// exactly now ("due" flows) are the one case where a deferred settle
+	// is unsafe: the eager per-change recompute would discover them at
+	// zero remaining inside the very call that changed their endpoint and
+	// cascade-finish them mid-callback. dueCount[node] counts due flows
+	// per endpoint for the current instant (curInstant); dueTouched lists
+	// the nonzero entries for O(touched) reset at the next instant.
+	flowsAt    map[float64][]*Flow
+	dueCount   []int
+	dueTouched []int
+	curInstant float64
+
+	// settleDepth counts settleNode frames on the stack. An endpoint
+	// change made while a pass is in progress (a done callback starting a
+	// replacement transfer mid-cascade) cannot defer: the enclosing pass
+	// will refresh the same flows again after it returns, so a deferred
+	// reschedule would land after reschedules the eager per-change
+	// recompute issued before it — permuting event seq order among flows
+	// that complete at the same future instant.
+	settleDepth int
 
 	// TotalBytes counts every byte delivered by completed or partial
 	// flows, fleet-wide.
@@ -122,15 +169,24 @@ func (n *Network) Instrument(c *metrics.Collector) {
 }
 
 // New attaches a network to the cluster and subscribes to availability
-// transitions of every node.
+// transitions of every node. The network registers a simulation barrier so
+// the deferred settle pass runs before the clock leaves any instant.
 func New(s *sim.Simulation, c *cluster.Cluster, cfg Config) *Network {
-	n := &Network{sim: s, cfg: cfg, nodes: make([]*nodeState, len(c.Nodes))}
+	n := &Network{
+		sim:      s,
+		cfg:      cfg,
+		nodes:    make([]*nodeState, len(c.Nodes)),
+		inDirty:  make([]bool, len(c.Nodes)),
+		flowsAt:  make(map[float64][]*Flow),
+		dueCount: make([]int, len(c.Nodes)),
+	}
 	for i := range n.nodes {
 		n.nodes[i] = &nodeState{}
 	}
 	for _, node := range c.Nodes {
 		node.Watch(func(nd *cluster.Node, _ bool) { n.nodeChanged(nd) })
 	}
+	s.Barrier(n.flush)
 	return n
 }
 
@@ -139,11 +195,15 @@ func (n *Network) Consumed(nodeID int) float64 {
 	if nodeID < 0 || nodeID >= len(n.nodes) {
 		return 0
 	}
+	n.syncRead()
 	return n.nodes[nodeID].consumed
 }
 
 // TotalBytes returns the fleet-wide settled byte count.
-func (n *Network) TotalBytes() float64 { return n.totalBytes }
+func (n *Network) TotalBytes() float64 {
+	n.syncRead()
+	return n.totalBytes
+}
 
 // ActiveFlows returns the number of remote flows currently touching the
 // node.
@@ -151,7 +211,37 @@ func (n *Network) ActiveFlows(nodeID int) int {
 	if nodeID < 0 || nodeID >= len(n.nodes) {
 		return 0
 	}
+	n.syncRead()
 	return len(n.nodes[nodeID].remote)
+}
+
+// syncRead settles everything an observer must not see pending. Outside a
+// settle pass that is a full flush. Inside one (a completion callback
+// reading the network mid-pass) the remaining marks are drained in the same
+// first-marked order the pass would have used, so the read sees exactly the
+// state the eager per-change schedule would have shown at this point —
+// including flows that reached zero earlier in the instant, which must
+// already be finished and gone from the load counts.
+func (n *Network) syncRead() {
+	if n.flushing {
+		n.drainDirty()
+		return
+	}
+	n.flush()
+}
+
+// drainDirty processes pending marks in first-marked order. Entries cleared
+// by a nested drain are skipped; marks appended while the drain runs are
+// picked up by the same loop. Callers must hold flushing == true.
+func (n *Network) drainDirty() {
+	for i := 0; i < len(n.dirty); i++ {
+		id := n.dirty[i]
+		if !n.inDirty[id] {
+			continue
+		}
+		n.inDirty[id] = false
+		n.settleNode(id)
+	}
 }
 
 // Transfer starts moving bytes from src to dst and invokes done exactly once
@@ -164,7 +254,7 @@ func (n *Network) Transfer(src, dst *cluster.Node, bytes float64, done func(erro
 	if bytes < 0 {
 		panic(fmt.Sprintf("netmodel: negative transfer size %v", bytes))
 	}
-	f := &Flow{Src: src, Dst: dst, id: n.nextID, remaining: bytes, done: done, lastUpdate: n.sim.Now()}
+	f := &Flow{Src: src, Dst: dst, id: n.nextID, remaining: bytes, done: done, lastUpdate: n.sim.Now(), dueIdx: -1}
 	n.nextID++
 	n.mFlows.IncAt(f.lastUpdate)
 	if bytes == 0 {
@@ -174,12 +264,12 @@ func (n *Network) Transfer(src, dst *cluster.Node, bytes float64, done func(erro
 	}
 	if f.local() {
 		n.nodes[src.ID].local = append(n.nodes[src.ID].local, f)
-		n.updateNode(src.ID)
+		n.markDirty(src.ID)
 	} else {
 		n.nodes[src.ID].remote = append(n.nodes[src.ID].remote, f)
 		n.nodes[dst.ID].remote = append(n.nodes[dst.ID].remote, f)
-		n.updateNode(src.ID)
-		n.updateNode(dst.ID)
+		n.markDirty(src.ID)
+		n.markDirty(dst.ID)
 	}
 	n.checkStall(f)
 	return f
@@ -259,15 +349,142 @@ func (n *Network) putScratch(b []*Flow) {
 	n.scratch = append(n.scratch, b)
 }
 
-// updateNode resettles and reschedules every flow touching the node.
-func (n *Network) updateNode(nodeID int) {
+// indexCompletion records the exact time of f's scheduled completion event.
+// The absolute time passed in must be computed as sim.Now()+delay with the
+// identical delay handed to sim.After, so map lookups by the current clock
+// hit the bucket bit-for-bit.
+func (n *Network) indexCompletion(f *Flow, at float64) {
+	b := n.flowsAt[at]
+	f.completionAt = at
+	f.dueIdx = len(b)
+	n.flowsAt[at] = append(b, f)
+}
+
+// unindexCompletion removes f from the completion-time index (O(1)
+// swap-remove; bucket order is immaterial — only counts are derived from
+// it). If f was registered as due at the current instant its endpoint
+// counts are released too.
+func (n *Network) unindexCompletion(f *Flow) {
+	if f.dueIdx < 0 {
+		return
+	}
+	b := n.flowsAt[f.completionAt]
+	last := len(b) - 1
+	moved := b[last]
+	b[f.dueIdx] = moved
+	moved.dueIdx = f.dueIdx
+	b[last] = nil
+	if last == 0 {
+		delete(n.flowsAt, f.completionAt)
+	} else {
+		n.flowsAt[f.completionAt] = b[:last]
+	}
+	f.dueIdx = -1
+	if f.completionAt == n.curInstant && n.curInstant == n.sim.Now() {
+		n.dueCount[f.Src.ID]--
+		if !f.local() {
+			n.dueCount[f.Dst.ID]--
+		}
+	}
+}
+
+// syncInstant rebuilds the per-node due-flow counts when the clock has moved
+// since they were last built. Cost is O(flows completing at this exact
+// instant), almost always zero.
+func (n *Network) syncInstant() {
+	now := n.sim.Now()
+	if now == n.curInstant {
+		return
+	}
+	for _, id := range n.dueTouched {
+		n.dueCount[id] = 0
+	}
+	n.dueTouched = n.dueTouched[:0]
+	n.curInstant = now
+	for _, f := range n.flowsAt[now] {
+		n.addDue(f.Src.ID)
+		if !f.local() {
+			n.addDue(f.Dst.ID)
+		}
+	}
+}
+
+func (n *Network) addDue(id int) {
+	if n.dueCount[id] == 0 {
+		n.dueTouched = append(n.dueTouched, id)
+	}
+	n.dueCount[id]++
+}
+
+// markDirty queues the node for the next settle pass. Marks keep their
+// first-come order — the same order the eager per-change recompute would
+// have first touched each node — so the flush replays the identical
+// floating-point accumulation sequence.
+//
+// One case must not defer: a node carrying a flow whose completion event is
+// scheduled at this very instant. The eager recompute would have found that
+// flow at zero remaining inside this call and cascade-finished it before the
+// caller's next statement — canceling its pending event, delivering its done
+// callback, and freeing whatever the caller tracks through plain state (a
+// shuffle's in-flight slot, say) with no intervening read to trigger a
+// flush. For those nodes the pending marks drain first (keeping earlier
+// deferred work in accumulation order) and the node settles eagerly, exactly
+// as the per-change schedule would have.
+func (n *Network) markDirty(nodeID int) {
+	n.syncInstant()
+	if n.settleDepth > 0 {
+		// Mid-pass change: the eager schedule ran its recompute right
+		// here, between the enclosing pass's refreshes. Settle inline at
+		// the same point. A mark the node may still hold stays queued —
+		// the eager schedule also refreshed these flows again at that
+		// later touch.
+		n.settleNode(nodeID)
+		return
+	}
+	if n.dueCount[nodeID] > 0 {
+		// See the comment above the function: a flow on this node
+		// completes at this very instant and must cascade-finish inside
+		// this call. Earlier deferred work drains first to keep its place
+		// in the accumulation order.
+		n.flush()
+		n.settleNode(nodeID)
+		return
+	}
+	if n.inDirty[nodeID] {
+		return
+	}
+	n.inDirty[nodeID] = true
+	n.dirty = append(n.dirty, nodeID)
+}
+
+// flush drains the dirty queue: one settle pass per marked node at the
+// current instant. Nodes marked while the pass runs (flow completions
+// cascading into endpoint changes) are appended and drained by the same
+// loop. flush reports whether it did any work, which is the contract the
+// sim.Barrier uses to re-poll until the instant is quiescent. Re-entrant
+// calls (a done callback reading Consumed mid-pass) are no-ops.
+func (n *Network) flush() bool {
+	if n.flushing || len(n.dirty) == 0 {
+		return false
+	}
+	n.flushing = true
+	n.drainDirty()
+	n.dirty = n.dirty[:0]
+	n.flushing = false
+	return true
+}
+
+// settleNode resettles and reschedules every flow touching the node.
+func (n *Network) settleNode(nodeID int) {
 	st := n.nodes[nodeID]
 	buf := n.takeScratch()
 	buf = append(buf, st.remote...)
 	buf = append(buf, st.local...)
+	n.settleDepth++
 	for _, f := range buf {
 		n.refresh(f)
 	}
+	n.settleDepth--
 	n.putScratch(buf)
 }
 
@@ -280,15 +497,17 @@ func (n *Network) refresh(f *Flow) {
 	f.rate = n.currentRate(f)
 	n.sim.Cancel(f.completion)
 	f.completion = sim.Event{}
+	n.unindexCompletion(f)
 	if f.remaining <= 1e-6 {
 		n.finish(f, nil)
 		return
 	}
 	if f.rate > 0 {
-		f.completion = n.sim.After(f.remaining/f.rate, "net.complete", func() {
-			n.settle(f)
+		d := f.remaining / f.rate
+		f.completion = n.sim.After(d, "net.complete", func() {
 			n.finish(f, nil)
 		})
+		n.indexCompletion(f, n.sim.Now()+d)
 	}
 }
 
@@ -310,8 +529,24 @@ func (n *Network) checkStall(f *Flow) {
 	}
 }
 
-// finish removes the flow and fires its callback.
+// finish removes the flow and fires its callback. Pending marks flush
+// first: any settling the eager schedule would have done before this point
+// lands before the flow's own final settle, keeping the accumulation order
+// (and possibly finishing f itself — a flow that reached zero earlier this
+// instant completes in the flush, exactly as it would have eagerly).
+//
+// Completion is the one endpoint change that settles eagerly rather than
+// marking dirty: sibling flows that hit zero at the same instant must
+// cascade-finish inside this call — their completion events canceled before
+// they fire, their callbacks delivered before this flow's — to replay the
+// exact callback order of the per-change schedule. Deferring the cascade to
+// the barrier would fire the siblings' completion events as separate sim
+// events and reorder same-instant callbacks.
 func (n *Network) finish(f *Flow, err error) {
+	if f.finished {
+		return
+	}
+	n.flush()
 	if f.finished {
 		return
 	}
@@ -323,14 +558,15 @@ func (n *Network) finish(f *Flow, err error) {
 	n.sim.Cancel(f.completion)
 	n.sim.Cancel(f.stall)
 	f.completion, f.stall = sim.Event{}, sim.Event{}
+	n.unindexCompletion(f)
 	if f.local() {
 		removeFlow(&n.nodes[f.Src.ID].local, f)
-		n.updateNode(f.Src.ID)
+		n.settleNode(f.Src.ID)
 	} else {
 		removeFlow(&n.nodes[f.Src.ID].remote, f)
 		removeFlow(&n.nodes[f.Dst.ID].remote, f)
-		n.updateNode(f.Src.ID)
-		n.updateNode(f.Dst.ID)
+		n.settleNode(f.Src.ID)
+		n.settleNode(f.Dst.ID)
 	}
 	if f.done != nil {
 		f.done(err)
@@ -338,19 +574,18 @@ func (n *Network) finish(f *Flow, err error) {
 }
 
 // nodeChanged reacts to an availability transition: rates collapse to zero
-// or recover, and stall timers arm/disarm.
+// or recover (settled at the barrier), and stall timers arm/disarm
+// immediately. checkStall only reads availability and arms sim events — it
+// never mutates the flow lists — so no snapshot is needed.
 func (n *Network) nodeChanged(node *cluster.Node) {
+	n.markDirty(node.ID)
 	st := n.nodes[node.ID]
-	buf := n.takeScratch()
-	buf = append(buf, st.remote...)
-	buf = append(buf, st.local...)
-	for _, f := range buf {
-		n.refresh(f)
-	}
-	for _, f := range buf {
+	for _, f := range st.remote {
 		n.checkStall(f)
 	}
-	n.putScratch(buf)
+	for _, f := range st.local {
+		n.checkStall(f)
+	}
 }
 
 func removeFlow(s *[]*Flow, f *Flow) {

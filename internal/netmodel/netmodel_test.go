@@ -230,3 +230,46 @@ func TestNegativeBytesPanics(t *testing.T) {
 	}()
 	n.Transfer(c.Node(1), c.Node(2), -1, func(error) {})
 }
+
+// TestMidInstantReadsSeeSettledState pins the observable contract of
+// batched settling: endpoint changes only mark nodes dirty, but every read
+// accessor flushes first, so state seen from inside an event callback is
+// indistinguishable from the old settle-on-every-change schedule.
+func TestMidInstantReadsSeeSettledState(t *testing.T) {
+	s, c, n := testbed(nil, simpleCfg())
+	n.Transfer(c.Node(1), c.Node(2), 1000, func(error) {})
+	s.After(5, "probe", func() {
+		// Progress is charged at settle points, never speculatively:
+		// with nothing marked dirty since t=0, the half-finished flow
+		// has no settled bytes yet (matching the old per-change
+		// schedule, which also only settled on changes).
+		if got := n.Consumed(1); got != 0 {
+			t.Errorf("Consumed(src) before any change = %v, want 0", got)
+		}
+		// A new transfer marks node 1 dirty. Reads issued before the
+		// end-of-instant flush must still observe it: the flush charges
+		// flow 1's elapsed 500 B and re-shares the NIC.
+		n.Transfer(c.Node(1), c.Node(3), 1000, func(error) {})
+		if got := n.ActiveFlows(1); got != 2 {
+			t.Errorf("ActiveFlows(src) after second transfer = %d, want 2", got)
+		}
+		if got := n.Consumed(1); math.Abs(got-500) > 1e-6 {
+			t.Errorf("Consumed(src) after second transfer = %v, want 500", got)
+		}
+		if got := n.TotalBytes(); math.Abs(got-500) > 1e-6 {
+			t.Errorf("TotalBytes mid-instant = %v, want 500", got)
+		}
+	})
+	s.Run()
+	// Flow 1: 500 B at full rate, then 500 B at half rate (5+10 s).
+	// Flow 2: 1000 B, half rate until t=15 (500 B), full rate after (+5 s).
+	if got := n.Consumed(1); math.Abs(got-2000) > 1e-6 {
+		t.Fatalf("Consumed(src) final = %v, want 2000", got)
+	}
+	if got := n.TotalBytes(); math.Abs(got-2000) > 1e-6 {
+		t.Fatalf("TotalBytes final = %v, want 2000", got)
+	}
+	if s.Now() != 20 {
+		t.Fatalf("simulation ended at %v, want 20", s.Now())
+	}
+}

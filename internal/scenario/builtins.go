@@ -21,6 +21,7 @@ func Builtins() []*Spec {
 		correlatedSort(),
 		weightedSkew(),
 		expirySweep(),
+		scaleSweep(),
 		liveMix(),
 		chaosLive(),
 	}
@@ -63,9 +64,10 @@ func List(w io.Writer) error {
 	return tw.Flush()
 }
 
-// floatp/strp build the pointer fields of sparse specs.
+// floatp/strp/intp build the pointer fields of sparse specs.
 func floatp(v float64) *float64 { return &v }
 func strp(v string) *string     { return &v }
+func intp(v int) *int           { return &v }
 
 // paperFigures reproduces the full `-experiment all` evaluation: every
 // figure and table of the paper on both Table I applications.
@@ -157,6 +159,40 @@ func weightedSkew() *Spec {
 						Policy:  "weighted",
 						Weights: map[string]float64{"sleep-sort-j0": 3},
 					},
+				},
+			},
+		}},
+	}
+}
+
+// scaleSweep is the raw-speed axis: one sleep-sort job on fleets doubling
+// from the paper testbed (60V+6D) to 8x (480V+48D), all under MOON-Hybrid.
+// Scheduling behavior is size-invariant here by design, so the sweep
+// isolates simulator cost: event-queue pressure and netmodel settling grow
+// with the fleet while the workload stays fixed. CI smokes the largest line
+// at -scale; the profiles behind BENCH_*.json come from running it whole.
+func scaleSweep() *Spec {
+	mk := func(label string, volatile, dedicated int) VariantSpec {
+		return VariantSpec{
+			Label:   label,
+			Preset:  "moon-hybrid",
+			Cluster: &ClusterSpec{Volatile: intp(volatile), Dedicated: intp(dedicated)},
+		}
+	}
+	return &Spec{
+		Schema:      Schema,
+		Name:        "scale-sweep",
+		Description: "Fleet-size axis for raw simulator speed: sleep-sort on 66 to 528 nodes (1x-8x the paper testbed), MOON-Hybrid.",
+		Sweep:       SweepSpec{Seeds: []uint64{1}, Rates: []float64{0.3}},
+		Experiments: []Experiment{{
+			Custom: &CustomExperiment{
+				Title:    "Fleet-size sweep (sleep-sort, MOON-Hybrid)",
+				Workload: WorkloadSpec{App: "sort", Sleep: true},
+				Variants: []VariantSpec{
+					mk("66-nodes", 60, 6),
+					mk("132-nodes", 120, 12),
+					mk("264-nodes", 240, 24),
+					mk("528-nodes", 480, 48),
 				},
 			},
 		}},

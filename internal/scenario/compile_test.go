@@ -211,6 +211,61 @@ func TestCompileCustomAppliesDeltas(t *testing.T) {
 	}
 }
 
+// TestCompileScaleSweep pins the scale-sweep builtin's fleet axis: four
+// sleep-sort variants whose per-variant clusters double from the paper
+// testbed to 8x, with a single-cell sweep (one seed, one rate).
+func TestCompileScaleSweep(t *testing.T) {
+	spec, ok := Lookup("scale-sweep")
+	if !ok {
+		t.Fatal("scale-sweep builtin missing")
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Runs) != 1 {
+		t.Fatalf("plan has %d runs, want 1", len(plan.Runs))
+	}
+	if got := plan.Config.Seeds; len(got) != 1 || got[0] != 1 {
+		t.Errorf("seeds %v, want [1]", got)
+	}
+	if got := plan.Config.Rates; len(got) != 1 || got[0] != 0.3 {
+		t.Errorf("rates %v, want [0.3]", got)
+	}
+	want := []struct {
+		label    string
+		vol, ded int
+	}{
+		{"66-nodes", 60, 6},
+		{"132-nodes", 120, 12},
+		{"264-nodes", 240, 24},
+		{"528-nodes", 480, 48},
+	}
+	vs := plan.Runs[0].Variants
+	if len(vs) != len(want) {
+		t.Fatalf("%d variants, want %d", len(vs), len(want))
+	}
+	for i, w := range want {
+		v := vs[i]
+		if v.Label != w.label {
+			t.Errorf("variant %d label %q, want %q", i, v.Label, w.label)
+			continue
+		}
+		opts, wl := v.Build(core.ClusterSpec{UnavailabilityRate: 0.3, Seed: 1})
+		cs := opts.Cluster
+		if cs.VolatileNodes != w.vol || cs.DedicatedNodes != w.ded {
+			t.Errorf("%s: fleet %dV+%dD, want %dV+%dD",
+				w.label, cs.VolatileNodes, cs.DedicatedNodes, w.vol, w.ded)
+		}
+		if !strings.HasPrefix(wl.Job.Name, "sleep-") {
+			t.Errorf("%s: workload %q is not the sleep proxy", w.label, wl.Job.Name)
+		}
+	}
+}
+
 // TestCompileCustomMulti lowers a weighted multi-job custom experiment.
 func TestCompileCustomMulti(t *testing.T) {
 	spec, ok := Lookup("weighted-skew")
@@ -255,6 +310,9 @@ func TestBuiltinsValidateAndCompile(t *testing.T) {
 	}
 	if _, ok := Lookup("paper-figures"); !ok {
 		t.Error("Lookup(paper-figures) failed")
+	}
+	if _, ok := Lookup("scale-sweep"); !ok {
+		t.Error("Lookup(scale-sweep) failed")
 	}
 	if _, err := Load("no-such-scenario"); err == nil || !strings.Contains(err.Error(), "list-scenarios") {
 		t.Errorf("Load of unknown name: %v", err)

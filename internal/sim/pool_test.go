@@ -67,8 +67,8 @@ func TestLazyCancelDrainCounts(t *testing.T) {
 	if s.Fired() != 6 {
 		t.Fatalf("Fired() = %d, want 6", s.Fired())
 	}
-	if s.Pending() != 0 || len(s.queue) != 0 {
-		t.Fatalf("queue not drained: Pending=%d len=%d", s.Pending(), len(s.queue))
+	if s.Pending() != 0 || s.cal.len() != 0 {
+		t.Fatalf("queue not drained: Pending=%d len=%d", s.Pending(), s.cal.len())
 	}
 }
 
@@ -83,8 +83,8 @@ func TestCancelCompaction(t *testing.T) {
 	for _, e := range evs[:999] {
 		s.Cancel(e)
 	}
-	if len(s.queue) >= 1000 {
-		t.Fatalf("heap did not compact: %d slots for 1 live event", len(s.queue))
+	if s.cal.len() >= 1000 {
+		t.Fatalf("queue did not compact: %d slots for 1 live event", s.cal.len())
 	}
 	if s.Pending() != 1 {
 		t.Fatalf("Pending() = %d, want 1", s.Pending())

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// refHeap is a plain binary min-heap over the queue's (at, seq) total order.
+// It is the reference implementation the calendar queue replaced: any correct
+// priority queue pops the same strict sequence, so driving both with one
+// operation stream and comparing orders checks the calendar end to end —
+// slot hashing, sorted-run maintenance, year-scan fallback, hold caching and
+// lazy cancellation.
+type refHeap struct {
+	ns []*node
+}
+
+func (h *refHeap) len() int { return len(h.ns) }
+
+func (h *refHeap) push(n *node) {
+	h.ns = append(h.ns, n)
+	i := len(h.ns) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !less(h.ns[i], h.ns[p]) {
+			break
+		}
+		h.ns[i], h.ns[p] = h.ns[p], h.ns[i]
+		i = p
+	}
+}
+
+func (h *refHeap) pop() *node {
+	n := h.ns[0]
+	last := len(h.ns) - 1
+	h.ns[0] = h.ns[last]
+	h.ns[last] = nil
+	h.ns = h.ns[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h.ns) && less(h.ns[l], h.ns[m]) {
+			m = l
+		}
+		if r < len(h.ns) && less(h.ns[r], h.ns[m]) {
+			m = r
+		}
+		if m == i {
+			return n
+		}
+		h.ns[i], h.ns[m] = h.ns[m], h.ns[i]
+		i = m
+	}
+}
+
+// TestCalendarMatchesHeapReference drives the simulation and a shadow binary
+// heap with one randomized schedule/cancel/fire stream and requires the
+// identical fire order. Delays are quantized so many events collide on the
+// same instant (exercising the seq tie-break) with occasional far-future
+// outliers (exercising the sparse direct-search fallback and cursor rewind).
+func TestCalendarMatchesHeapReference(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		r := rng.New(seed)
+		s := New()
+		h := &refHeap{}
+
+		type pair struct {
+			ev Event
+			hn *node
+		}
+		var live []pair
+		var fired []uint64
+		nextID := uint64(0)
+
+		for op := 0; op < 20000; op++ {
+			switch k := r.Float64(); {
+			case k < 0.55 || len(live) == 0:
+				var d float64
+				switch r.Intn(10) {
+				case 0:
+					d = 0 // same instant
+				case 1:
+					d = r.Float64() * 1e7 // far future
+				default:
+					d = float64(r.Intn(64)) * 0.25 // dense collisions
+				}
+				id := nextID
+				nextID++
+				ev := s.After(d, "diff", func() { fired = append(fired, id) })
+				hn := &node{at: s.Now() + d, seq: id}
+				h.push(hn)
+				live = append(live, pair{ev, hn})
+			case k < 0.75 && len(live) > 0:
+				i := r.Intn(len(live))
+				p := live[i]
+				if p.ev.Pending() {
+					s.Cancel(p.ev)
+					p.hn.canceled = true
+				}
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			default:
+				s.Step()
+			}
+		}
+		for s.Step() {
+		}
+
+		var want []uint64
+		for h.len() > 0 {
+			if n := h.pop(); !n.canceled {
+				want = append(want, n.seq)
+			}
+		}
+		if len(fired) != len(want) {
+			t.Fatalf("seed %d: fired %d events, heap reference expects %d", seed, len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("seed %d: fire order diverges at %d: calendar popped %d, heap reference %d",
+					seed, i, fired[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCompactionAt100kPending verifies corpse management at scale: with 100k
+// events queued and 99% canceled, the bulk compaction must sweep the corpses
+// (bounding storage near the live count) and every survivor must still fire,
+// in order.
+func TestCompactionAt100kPending(t *testing.T) {
+	const total = 100000
+	s := New()
+	var fired int
+	lastAt := -1.0
+	fn := func() {
+		if s.Now() < lastAt {
+			t.Fatalf("fire order regressed: %v after %v", s.Now(), lastAt)
+		}
+		lastAt = s.Now()
+		fired++
+	}
+	evs := make([]Event, 0, total)
+	for i := 0; i < total; i++ {
+		evs = append(evs, s.Schedule(float64(i%9973)+1, "e", fn))
+	}
+	kept := 0
+	for i, e := range evs {
+		if i%100 == 0 {
+			kept++
+			continue
+		}
+		s.Cancel(e)
+	}
+	// Cancel compacts once corpses outnumber live events; after canceling
+	// 99% the queue must hold roughly the survivors, not 100k corpses.
+	if got := s.cal.len(); got > 2*kept {
+		t.Fatalf("compaction left %d stored events for %d live ones", got, kept)
+	}
+	if got := s.Pending(); got != kept {
+		t.Fatalf("Pending() = %d, want %d", got, kept)
+	}
+	s.Run()
+	if fired != kept {
+		t.Fatalf("fired %d events, want %d", fired, kept)
+	}
+	if got := s.cal.len(); got != 0 {
+		t.Fatalf("queue not empty after run: %d stored", got)
+	}
+}

@@ -6,19 +6,30 @@
 // the deterministic rng package makes every run bit-reproducible for a given
 // seed. All model time is in simulated seconds (float64).
 //
-// The event queue is allocation-lean: event storage is pooled in a
+// The event queue is a bucketed calendar queue (Brown, CACM 1988): pending
+// events hash into time buckets of adaptive width, so the steady-state
+// schedule→fire cycle is O(1) instead of the O(log n) a binary heap pays —
+// the difference between minutes and hours at 100k-node scale, where n is in
+// the millions. Buckets are lazily sorted: inserts append to an unsorted
+// tail and the tail is only folded in when the bucket is actually examined
+// for a minimum, so burst scheduling (100k heartbeats for the same instant)
+// stays O(1) per event. The ordering contract is unchanged from the heap:
+// events pop in exact (at, seq) order.
+//
+// The queue is also allocation-lean: event storage is pooled in a
 // per-Simulation free list and recycled after an event fires, so the hot
 // schedule→fire→reschedule cycle of tickers, heartbeats and flow-completion
 // events runs without per-event allocation at steady state. Cancel is lazy —
 // it marks the event and the queue skips it at pop time instead of paying an
-// O(log n) heap removal; when canceled events pile up the queue compacts in
-// one O(n) pass, so cancel-heavy churn (flow reschedules) stays amortized
-// O(1) and the heap never fills with corpses.
+// eager removal; when canceled events pile up the queue compacts in one O(n)
+// pass, so cancel-heavy churn (flow reschedules) stays amortized O(1) and
+// the buckets never fill with corpses.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/metrics"
 )
@@ -42,6 +53,16 @@ type node struct {
 	name     string
 }
 
+// less is the queue's total order: by time, then by schedule order. seq is
+// unique, so the order is strict — any correct priority queue pops the same
+// sequence, which is what keeps run output independent of queue internals.
+func less(a, b *node) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
 // Event is a generation-checked handle for a scheduled callback. The zero
 // Event references nothing and behaves like an event that already ended:
 // Cancel is a no-op, Pending reports false. Handles stay safe after the
@@ -63,12 +84,278 @@ func (e Event) Canceled() bool { return !e.live() || e.n.canceled }
 // Pending reports whether the event is still queued to fire.
 func (e Event) Pending() bool { return e.live() && e.n.queued && !e.n.canceled }
 
+// --- calendar queue ---------------------------------------------------------
+
+const (
+	// minBuckets is the smallest bucket array; always a power of two so the
+	// slot→bucket map is a mask.
+	minBuckets = 16
+	// tailMax bounds the unsorted tail scanned linearly when a bucket is
+	// examined; longer tails are folded into the sorted run first.
+	tailMax = 32
+	// maxSlot caps slot arithmetic so events in the astronomically far
+	// future (at/width beyond int64) stay representable; they are found by
+	// the direct-search fallback rather than the year scan.
+	maxSlot = int64(1) << 62
+)
+
+// calendar is the bucketed calendar queue. Each bucket holds the events of
+// the time slots hashing onto it (slot = floor(at/width), bucket =
+// slot&mask) as a descending-sorted run [0,sorted) — minimum at the end,
+// popped in O(1) — followed by an unsorted append tail [sorted,len). curSlot
+// is the cursor of the "year scan": popping walks one slot per bucket from
+// there and falls back to a direct minimum search when a whole year comes up
+// empty (sparse regions), jumping the cursor forward. hold caches the
+// current minimum outside the buckets so peeking is O(1).
+type calendar struct {
+	buckets [][]*node
+	sorted  []int // per-bucket watermark: len of the descending-sorted run
+	mask    int64
+	width   float64
+	curSlot int64
+	stored  int   // events in buckets (hold not counted)
+	hold    *node // cached minimum, removed from its bucket
+
+	// gap is an EWMA of the spacing between consecutively popped events —
+	// the event density at the queue front that the bucket width adapts to
+	// on resize. popped/lastAt seed it.
+	gap    float64
+	popped bool
+	lastAt Time
+
+	scratch []*node // reusable collection buffer for resize
+}
+
+func (c *calendar) init() {
+	c.buckets = make([][]*node, minBuckets)
+	c.sorted = make([]int, minBuckets)
+	c.mask = minBuckets - 1
+	c.width = 1
+}
+
+// len returns the number of stored events, canceled corpses included.
+func (c *calendar) len() int {
+	if c.hold != nil {
+		return c.stored + 1
+	}
+	return c.stored
+}
+
+func (c *calendar) slotOf(at Time) int64 {
+	s := at / c.width
+	if s >= float64(maxSlot) {
+		return maxSlot
+	}
+	return int64(s)
+}
+
+func (c *calendar) push(n *node) {
+	if c.buckets == nil {
+		c.init()
+	}
+	// Keep hold the true minimum: a smaller push displaces it.
+	if c.hold != nil && less(n, c.hold) {
+		n, c.hold = c.hold, n
+	}
+	slot := c.slotOf(n.at)
+	if slot < c.curSlot {
+		// Pushing behind the scan cursor (possible after a far-future jump
+		// followed by a barrier scheduling for the current instant): rewind
+		// so the year scan still starts at or before the minimum.
+		c.curSlot = slot
+	}
+	bi := int(slot & c.mask)
+	c.buckets[bi] = append(c.buckets[bi], n)
+	c.stored++
+	if c.stored > 2*len(c.buckets) {
+		c.resize(2 * len(c.buckets))
+	}
+}
+
+// min returns the earliest event without removing it, or nil when empty.
+func (c *calendar) min() *node {
+	if c.hold == nil {
+		c.hold = c.take()
+	}
+	return c.hold
+}
+
+// pop removes and returns the earliest event, or nil when empty.
+func (c *calendar) pop() *node {
+	n := c.min()
+	if n == nil {
+		return nil
+	}
+	c.hold = nil
+	if len(c.buckets) > minBuckets && c.stored < len(c.buckets)/8 {
+		c.resize(len(c.buckets) / 2)
+	}
+	return n
+}
+
+// take removes the earliest event from the buckets.
+func (c *calendar) take() *node {
+	if c.stored == 0 {
+		return nil
+	}
+	// Year scan: one slot per bucket starting at the cursor. An event is
+	// eligible only if it belongs to the scanned slot itself, not a later
+	// wrap of the same bucket.
+	nb := int64(len(c.buckets))
+	for i := int64(0); i < nb; i++ {
+		slot := c.curSlot + i
+		bi := int(slot & c.mask)
+		if len(c.buckets[bi]) == 0 {
+			continue
+		}
+		idx, n := c.bucketMin(bi)
+		if c.slotOf(n.at) == slot {
+			c.removeAt(bi, idx)
+			c.curSlot = slot
+			return c.took(n)
+		}
+	}
+	// Sparse region: nothing within a year of the cursor. Direct minimum
+	// search over all buckets, then jump the cursor to it.
+	bbi, bidx := -1, -1
+	var best *node
+	for i := range c.buckets {
+		if len(c.buckets[i]) == 0 {
+			continue
+		}
+		idx, n := c.bucketMin(i)
+		if best == nil || less(n, best) {
+			best, bbi, bidx = n, i, idx
+		}
+	}
+	c.removeAt(bbi, bidx)
+	c.curSlot = c.slotOf(best.at)
+	return c.took(best)
+}
+
+// took finalizes a removal: bookkeeping for the width-adaptation EWMA.
+func (c *calendar) took(n *node) *node {
+	c.stored--
+	if c.popped {
+		c.gap += (n.at - c.lastAt - c.gap) / 16
+	}
+	c.popped = true
+	c.lastAt = n.at
+	return n
+}
+
+// bucketMin locates the minimum of a non-empty bucket: the end of the
+// sorted run versus a linear scan of the unsorted tail. Oversized tails are
+// folded in first, so bursts pay one sort when their bucket is first
+// examined instead of keeping it ordered insert by insert.
+func (c *calendar) bucketMin(bi int) (int, *node) {
+	b := c.buckets[bi]
+	s := c.sorted[bi]
+	if len(b)-s > tailMax {
+		c.sortBucket(bi)
+		b = c.buckets[bi]
+		s = len(b)
+	}
+	idx := -1
+	var best *node
+	if s > 0 {
+		idx, best = s-1, b[s-1]
+	}
+	for j := s; j < len(b); j++ {
+		if best == nil || less(b[j], best) {
+			idx, best = j, b[j]
+		}
+	}
+	return idx, best
+}
+
+// sortBucket folds the unsorted tail into the descending run.
+func (c *calendar) sortBucket(bi int) {
+	b := c.buckets[bi]
+	slices.SortFunc(b, func(a, x *node) int {
+		if less(a, x) {
+			return 1
+		}
+		return -1
+	})
+	c.sorted[bi] = len(b)
+}
+
+// removeAt removes one element from a bucket in O(1). The element is either
+// the end of the sorted run or inside the unsorted tail; the last element
+// backfills its position, landing in (or becoming) the tail.
+func (c *calendar) removeAt(bi, idx int) {
+	b := c.buckets[bi]
+	if idx < c.sorted[bi] {
+		c.sorted[bi] = idx
+	}
+	last := len(b) - 1
+	b[idx] = b[last]
+	b[last] = nil
+	c.buckets[bi] = b[:last]
+	if c.sorted[bi] > last {
+		c.sorted[bi] = last
+	}
+}
+
+// resize rebuilds the calendar with nb buckets and a width re-derived from
+// the observed event spacing: ~3 average gaps per bucket (Brown's rule of
+// thumb), falling back to the stored span before any pops. O(n log n), but
+// only triggered by 2× occupancy crossings, so amortized O(1) per event.
+func (c *calendar) resize(nb int) {
+	if nb < minBuckets {
+		nb = minBuckets
+	}
+	all := c.scratch[:0]
+	for i := range c.buckets {
+		all = append(all, c.buckets[i]...)
+	}
+	slices.SortFunc(all, func(a, x *node) int {
+		if less(a, x) {
+			return -1
+		}
+		return 1
+	})
+	w := c.width
+	if c.gap > 0 {
+		w = 3 * c.gap
+	} else if len(all) > 1 {
+		w = 3 * (all[len(all)-1].at - all[0].at) / float64(len(all))
+	}
+	if !(w > 1e-12) || math.IsInf(w, 1) {
+		w = 1
+	}
+	c.buckets = make([][]*node, nb)
+	c.sorted = make([]int, nb)
+	c.mask = int64(nb - 1)
+	c.width = w
+	// Distribute in descending order so every bucket lands fully sorted.
+	for i := len(all) - 1; i >= 0; i-- {
+		bi := int(c.slotOf(all[i].at) & c.mask)
+		c.buckets[bi] = append(c.buckets[bi], all[i])
+	}
+	for i := range c.buckets {
+		c.sorted[i] = len(c.buckets[i])
+	}
+	if len(all) > 0 {
+		c.curSlot = c.slotOf(all[0].at)
+	} else {
+		c.curSlot = 0
+	}
+	for i := range all {
+		all[i] = nil
+	}
+	c.scratch = all[:0]
+}
+
+// --- simulation -------------------------------------------------------------
+
 // Simulation is a discrete-event scheduler. It is not safe for concurrent
 // use; the whole model runs single-threaded over virtual time. Independent
 // Simulations share nothing and may run on different goroutines.
 type Simulation struct {
 	now     Time
-	queue   []*node // binary heap ordered by (at, seq)
+	cal     calendar
 	free    []*node // retired nodes awaiting reuse
 	nextSeq uint64
 	// fired counts events executed, for diagnostics and livelock guards.
@@ -79,6 +366,10 @@ type Simulation struct {
 	dead    int
 	stopped bool
 
+	// barriers run when the simulation is about to leave the current
+	// instant (see Barrier).
+	barriers []func() bool
+
 	// Instrument handles (nil without a collector; nil handles no-op, so
 	// the hot path stays allocation-free when metrics are off).
 	mFired       *metrics.Counter
@@ -88,7 +379,7 @@ type Simulation struct {
 }
 
 // Instrument registers the event core's instruments on c: event throughput
-// and cancellations as time-bucketed counters, heap compactions (the corpse
+// and cancellations as time-bucketed counters, queue compactions (the corpse
 // drain), and a sampled queue-depth series. A nil collector (or never
 // calling Instrument) leaves the simulation exactly as before — the pinned
 // microbenchmarks stay at 0 allocs/op.
@@ -118,61 +409,7 @@ func (s *Simulation) Canceled() uint64 { return s.canceled }
 
 // Pending returns the number of events currently queued to fire (canceled
 // events awaiting lazy removal are not counted).
-func (s *Simulation) Pending() int { return len(s.queue) - s.dead }
-
-// --- heap ------------------------------------------------------------------
-
-func (s *Simulation) less(a, b *node) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (s *Simulation) push(n *node) {
-	s.queue = append(s.queue, n)
-	i := len(s.queue) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(s.queue[i], s.queue[parent]) {
-			break
-		}
-		s.queue[i], s.queue[parent] = s.queue[parent], s.queue[i]
-		i = parent
-	}
-}
-
-// popMin removes and returns the heap head; the queue must be non-empty.
-func (s *Simulation) popMin() *node {
-	q := s.queue
-	top := q[0]
-	last := len(q) - 1
-	q[0] = q[last]
-	q[last] = nil
-	s.queue = q[:last]
-	s.siftDown(0)
-	return top
-}
-
-func (s *Simulation) siftDown(i int) {
-	q := s.queue
-	n := len(q)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			return
-		}
-		min := left
-		if right := left + 1; right < n && s.less(q[right], q[left]) {
-			min = right
-		}
-		if !s.less(q[min], q[i]) {
-			return
-		}
-		q[i], q[min] = q[min], q[i]
-		i = min
-	}
-}
+func (s *Simulation) Pending() int { return s.cal.len() - s.dead }
 
 // --- node pool -------------------------------------------------------------
 
@@ -209,7 +446,7 @@ func (s *Simulation) Schedule(at Time, name string, fn func()) Event {
 	n.canceled = false
 	n.queued = true
 	s.nextSeq++
-	s.push(n)
+	s.cal.push(n)
 	return Event{n: n, gen: n.gen}
 }
 
@@ -234,27 +471,40 @@ func (s *Simulation) Cancel(e Event) {
 	s.canceled++
 	s.dead++
 	s.mCanceled.IncAt(s.now)
-	if s.dead > 64 && s.dead > len(s.queue)/2 {
+	if s.dead > 64 && s.dead > s.cal.len()/2 {
 		s.compact()
 	}
 }
 
-// compact rebuilds the heap without canceled nodes, retiring their storage.
+// compact sweeps canceled nodes out of the calendar, retiring their storage.
+// In-place filtering preserves each bucket's sorted run, so no re-sort is
+// needed.
 func (s *Simulation) compact() {
-	live := s.queue[:0]
-	for _, n := range s.queue {
-		if n.canceled {
-			s.retire(n)
-		} else {
-			live = append(live, n)
+	c := &s.cal
+	if c.hold != nil && c.hold.canceled {
+		s.retire(c.hold)
+		c.hold = nil
+	}
+	for i := range c.buckets {
+		b := c.buckets[i]
+		live := b[:0]
+		deadSorted := 0
+		for j, n := range b {
+			if n.canceled {
+				if j < c.sorted[i] {
+					deadSorted++
+				}
+				s.retire(n)
+				c.stored--
+			} else {
+				live = append(live, n)
+			}
 		}
-	}
-	for i := len(live); i < len(s.queue); i++ {
-		s.queue[i] = nil
-	}
-	s.queue = live
-	for i := len(live)/2 - 1; i >= 0; i-- {
-		s.siftDown(i)
+		for j := len(live); j < len(b); j++ {
+			b[j] = nil
+		}
+		c.buckets[i] = live
+		c.sorted[i] -= deadSorted
 	}
 	s.dead = 0
 	s.mCompactions.Inc()
@@ -276,30 +526,71 @@ func (s *Simulation) Reschedule(e Event, at Time) Event {
 // Stop makes Run return after the currently executing event completes.
 func (s *Simulation) Stop() { s.stopped = true }
 
+// Barrier registers fn to run between event callbacks: before the next
+// event fires, before the clock advances to a later event, and before Step
+// or RunUntil return with the queue drained or the deadline reached. fn
+// reports whether it did any work; barriers are re-run until every
+// registered fn reports an idle pass, so events a barrier schedules for the
+// current instant still fire within it. A barrier that always reports work
+// livelocks the simulation — fn must be idempotent at a given instant.
+//
+// This is the hook for models that batch per-callback work (the netmodel
+// rate settling): they accumulate changes while a callback executes and
+// reconcile once when it returns, instead of once per change. Running
+// between callbacks — not merely at instant exit — keeps deferred work
+// ordered exactly as an eager schedule would have run it: no other model
+// code executes between the end of the triggering callback and the flush.
+func (s *Simulation) Barrier(fn func() bool) {
+	s.barriers = append(s.barriers, fn)
+}
+
+func (s *Simulation) runBarriers() bool {
+	did := false
+	for _, fn := range s.barriers {
+		if fn() {
+			did = true
+		}
+	}
+	return did
+}
+
 // peek drains canceled events from the head of the queue — recycling their
 // storage — and returns the earliest live node, or nil if the queue is
 // empty. Step and RunUntil share this single draining path.
 func (s *Simulation) peek() *node {
-	for len(s.queue) > 0 {
-		n := s.queue[0]
-		if !n.canceled {
+	for {
+		n := s.cal.min()
+		if n == nil || !n.canceled {
 			return n
 		}
-		s.popMin()
+		s.cal.pop()
 		s.dead--
 		s.retire(n)
 	}
-	return nil
 }
 
-// Step executes the single earliest pending event and returns true, or
-// returns false if the queue is empty.
-func (s *Simulation) Step() bool {
-	n := s.peek()
-	if n == nil {
-		return false
+// nextLive resolves the next event to fire, letting barriers flush deferred
+// work before every callback and before the simulation leaves the current
+// instant. The flush may cancel the apparent head or schedule ahead of it,
+// so the queue is re-examined until a barrier pass is idle. It returns the
+// earliest live node once no barrier has more work, or nil if the queue is
+// empty.
+func (s *Simulation) nextLive() *node {
+	if len(s.barriers) == 0 {
+		return s.peek()
 	}
-	s.popMin()
+	for {
+		did := s.runBarriers()
+		n := s.peek()
+		if !did {
+			return n
+		}
+	}
+}
+
+// fire pops n (which must be the queue head) and executes it.
+func (s *Simulation) fire(n *node) {
+	s.cal.pop()
 	if n.at < s.now {
 		panic(fmt.Sprintf("sim: time went backwards: %v -> %v (%s)", s.now, n.at, n.name))
 	}
@@ -307,11 +598,21 @@ func (s *Simulation) Step() bool {
 	s.fired++
 	n.queued = false
 	s.mFired.IncAt(n.at)
-	s.mQueueDepth.Observe(n.at, float64(len(s.queue)-s.dead))
+	s.mQueueDepth.Observe(n.at, float64(s.cal.len()-s.dead))
 	n.fn()
 	// Retire only after the callback: a handle held by the callback itself
 	// (or by code it calls synchronously) stays valid while it runs.
 	s.retire(n)
+}
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if the queue is empty (after giving barriers a final pass).
+func (s *Simulation) Step() bool {
+	n := s.nextLive()
+	if n == nil {
+		return false
+	}
+	s.fire(n)
 	return true
 }
 
@@ -322,15 +623,15 @@ func (s *Simulation) Step() bool {
 func (s *Simulation) RunUntil(deadline Time) {
 	s.stopped = false
 	for !s.stopped {
-		next := s.peek()
-		if next == nil {
+		n := s.nextLive()
+		if n == nil {
 			return
 		}
-		if next.at > deadline {
+		if n.at > deadline {
 			s.now = deadline
 			return
 		}
-		s.Step()
+		s.fire(n)
 	}
 }
 
