@@ -128,20 +128,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 			spec.Metrics.BucketSeconds = *metricsBkt
 		}
 	} else {
-		if *experiment == "live" {
-			// Live jobs are submitted together: the arrival-process flags
-			// (and the simulator-only ablation selector) must fail loudly
+		if *experiment == "live" && explicit["ablation"] {
+			// The simulator-only ablation selector must fail loudly
 			// rather than be silently dropped, matching the scenario
-			// path's validation.
-			for _, name := range []string{"stagger", "arrivals", "lambda", "arrival-seed", "ablation"} {
-				if explicit[name] {
-					return fmt.Errorf("-%s does not apply to -experiment live (live jobs are submitted together)", name)
-				}
-			}
+			// path's validation. (Arrival flags DO apply to live now:
+			// explicit ones become compressed wall-clock submission
+			// offsets; without them live jobs are submitted together.)
+			return fmt.Errorf("-ablation does not apply to -experiment live")
 		}
 		f := scenario.Flags{
-			Experiment:    *experiment,
-			App:           *app,
+			Experiment: *experiment,
+			App:        *app,
+			// Live arrivals are opt-in: only explicitly set flags reach
+			// the spec (the defaults would otherwise silently stagger
+			// every live run).
+			ExplicitArrivals: explicit["stagger"] || explicit["arrivals"] ||
+				explicit["lambda"] || explicit["arrival-seed"],
 			Scale:         *scale,
 			Parallel:      *parallel,
 			Ablation:      *ablation,

@@ -151,20 +151,32 @@ func TestLiveScenarioEndToEnd(t *testing.T) {
 	}
 }
 
-// TestLiveRejectsArrivalFlags: live jobs are submitted together, so an
-// explicit arrival-process flag must fail loudly rather than be silently
-// dropped.
-func TestLiveRejectsArrivalFlags(t *testing.T) {
-	for _, args := range [][]string{
-		{"-experiment", "live", "-arrivals", "poisson", "-lambda", "30"},
-		{"-experiment", "live", "-stagger", "120"},
-		{"-experiment", "live", "-arrival-seed", "7"},
-		{"-experiment", "live", "-ablation", "speccap"},
-	} {
-		var out, errb bytes.Buffer
-		if err := run(args, &out, &errb); err == nil {
-			t.Errorf("moonbench %s: accepted", strings.Join(args, " "))
+// TestLiveArrivalFlags: explicit arrival flags become a live arrival
+// process (compressed wall-clock submission offsets); without them live
+// jobs keep the submit-together default; the simulator-only ablation
+// selector still fails loudly.
+func TestLiveArrivalFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-experiment", "live", "-arrivals", "poisson", "-lambda", "30",
+		"-arrival-seed", "7", "-dump-scenario", "-"}, &out, &errb); err != nil {
+		t.Fatalf("live poisson arrivals rejected: %v", err)
+	}
+	for _, want := range []string{`"arrivals": "poisson"`, `"interval_seconds": 120`, `"arrival_seed": 7`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("dumped live spec missing %s:\n%s", want, out.String())
 		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-experiment", "live", "-dump-scenario", "-"}, &out, &errb); err != nil {
+		t.Fatalf("plain live rejected: %v", err)
+	}
+	if strings.Contains(out.String(), `"arrivals"`) {
+		t.Errorf("default live spec gained an arrival process:\n%s", out.String())
+	}
+
+	if err := run([]string{"-experiment", "live", "-ablation", "speccap"}, &out, &errb); err == nil {
+		t.Error("moonbench -experiment live -ablation speccap: accepted")
 	}
 }
 

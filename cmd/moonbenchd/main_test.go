@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer serializes writes so the test can read stdout while the
+// daemon goroutine is still running.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestDaemonServesAndDrains boots the daemon on a free port, runs one job
+// through submit → poll → report, then cancels the run context (the
+// signal path) and checks the graceful drain: in-flight work finished and
+// the process exited cleanly.
+func TestDaemonServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout, stderr syncBuffer
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain-timeout", "30s"}, &stdout, &stderr)
+	}()
+
+	// Discover the bound address from the startup line.
+	var base string
+	for deadline := time.Now().Add(10 * time.Second); base == ""; {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address:\n%s%s", stdout.String(), stderr.String())
+		}
+		if out := stdout.String(); strings.Contains(out, "listening on ") {
+			line := out[strings.Index(out, "listening on ")+len("listening on "):]
+			base = strings.TrimSpace(strings.Split(line, "\n")[0])
+		} else {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), `"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, raw)
+	}
+
+	resp, err = http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"name": "smoke", "splits": 3, "words_per_split": 50}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, raw)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("bad submit body %q: %v", raw, err)
+	}
+
+	// Trigger the signal path while the job may still be in flight.
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("run: %v\n%s", err, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "draining") || !strings.Contains(out, "stopped") {
+		t.Errorf("missing graceful-drain lines in stdout:\n%s", out)
+	}
+	if s := stderr.String(); strings.Contains(s, "drain incomplete") {
+		t.Errorf("drain did not finish in-flight work:\n%s", s)
+	}
+}

@@ -1,0 +1,151 @@
+// serviceclient embeds the moonbenchd service in-process, then drives it
+// the way an external client would: submit a word-count job over HTTP,
+// follow the /v1/events stream while it runs, poll its status, and fetch
+// the finished moon-metrics/v1 report.
+//
+//	go run ./examples/serviceclient
+//
+// Point the same client code at a standalone daemon (`go run
+// ./cmd/moonbenchd`) by replacing the embedded listener with its address.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/service"
+)
+
+func main() {
+	// The server side: one persistent live-engine master behind HTTP.
+	srv, err := service.New(service.Config{
+		VolatileWorkers:  4,
+		DedicatedWorkers: 1,
+		Quota:            sched.QuotaConfig{MaxConcurrent: 2, MaxQueued: 8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("service at", base)
+
+	// Follow the event stream in the background.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := make(chan string, 64)
+	go streamEvents(ctx, base, events)
+
+	// Submit one job as tenant "demo".
+	body := `{"name": "demo-count", "splits": 6, "words_per_split": 200, "reduces": 2}`
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/jobs", strings.NewReader(body))
+	req.Header.Set("X-Moon-Tenant", "demo")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submit: %d %s", resp.StatusCode, raw)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted job %s (%s)\n", st.ID, st.State)
+
+	// Poll until terminal, printing a few streamed frames along the way.
+	for st.State != "done" && st.State != "failed" {
+		select {
+		case ev := <-events:
+			fmt.Println("  event:", ev)
+		case <-time.After(5 * time.Millisecond):
+		}
+		r2, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw, _ = io.ReadAll(r2.Body)
+		r2.Body.Close()
+		if err := json.Unmarshal(raw, &st); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if st.State == "failed" {
+		log.Fatalf("job failed: %s", st.Error)
+	}
+
+	// The finished report is a moon-metrics/v1 document.
+	r3, err := http.Get(base + "/v1/jobs/" + st.ID + "/report")
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, _ := io.ReadAll(r3.Body)
+	r3.Body.Close()
+	var doc struct {
+		Schema      string `json:"schema"`
+		Experiments []struct {
+			Variant string `json:"variant"`
+			Gauges  []struct {
+				Name  string  `json:"name"`
+				Scope string  `json:"scope"`
+				Value float64 `json:"value"`
+			} `json:"gauges"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(report, &doc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("report: schema=%s (%d bytes)\n", doc.Schema, len(report))
+	for _, e := range doc.Experiments {
+		for _, g := range e.Gauges {
+			fmt.Printf("  %s{%s} = %.3f\n", g.Name, g.Scope, g.Value)
+		}
+	}
+}
+
+// streamEvents forwards compacted /v1/events frames to ch (drops when the
+// main loop is busy, like any live dashboard would).
+func streamEvents(ctx context.Context, base string, ch chan<- string) {
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	kind := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			select {
+			case ch <- kind + " " + strings.TrimPrefix(line, "data: "):
+			default:
+			}
+		}
+	}
+}

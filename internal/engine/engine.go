@@ -356,11 +356,57 @@ type JobProfile struct {
 	Stats Stats
 }
 
+// JobState is the lifecycle phase a job status snapshot reports.
+type JobState string
+
+// The job lifecycle: queued (submitted, no attempt launched yet), running,
+// done (all reduces committed), failed (the cluster closed under it).
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Terminal reports whether the state is final (done or failed).
+func (s JobState) Terminal() bool { return s == JobDone || s == JobFailed }
+
+// JobStatus is a point-in-time snapshot of one job's progress, published
+// by the master at every transition (submit, first launch, each task
+// completion, finish/failure). Reads are lock-free, so status polling —
+// the service's hottest endpoint — never contends with the master loop.
+type JobStatus struct {
+	ID       int      `json:"id"`
+	Job      string   `json:"job"`
+	Priority int      `json:"priority,omitempty"`
+	State    JobState `json:"state"`
+
+	MapsDone     int `json:"maps_done"`
+	MapsTotal    int `json:"maps_total"`
+	ReducesDone  int `json:"reduces_done"`
+	ReducesTotal int `json:"reduces_total"`
+
+	Stats Stats `json:"stats"`
+
+	// QueueWait is meaningful once the job launched; Makespan once it
+	// finished.
+	QueueWait time.Duration `json:"queue_wait_ns"`
+	Makespan  time.Duration `json:"makespan_ns"`
+
+	// Err is set when State is failed.
+	Err string `json:"error,omitempty"`
+}
+
 // JobHandle tracks one submitted job. Wait blocks until the job completes
-// (or ctx ends); Done exposes the completion signal for select loops.
+// (or ctx ends); Done exposes the completion signal for select loops;
+// Status returns the latest progress snapshot without blocking.
 type JobHandle struct {
+	id   int
 	name string
 	done chan struct{}
+
+	// status is republished by the master at every transition.
+	status atomic.Pointer[JobStatus]
 
 	// Written by the master before done closes; read only after.
 	results map[string]string
@@ -370,6 +416,13 @@ type JobHandle struct {
 
 // Name returns the job's name.
 func (h *JobHandle) Name() string { return h.name }
+
+// ID returns the job's cluster-unique numeric ID.
+func (h *JobHandle) ID() int { return h.id }
+
+// Status returns the latest progress snapshot. It never blocks: snapshots
+// are published by the master and read atomically.
+func (h *JobHandle) Status() JobStatus { return *h.status.Load() }
 
 // Done is closed when the job completes or the cluster closes.
 func (h *JobHandle) Done() <-chan struct{} { return h.done }

@@ -582,7 +582,7 @@ func (m *master) submit(job Job) submitResp {
 		spec:        job,
 		results:     make(map[string]string),
 		submittedAt: time.Now(),
-		handle:      &JobHandle{name: job.Name, done: make(chan struct{})},
+		handle:      &JobHandle{id: m.nextJobID, name: job.Name, done: make(chan struct{})},
 	}
 	for i := range job.Inputs {
 		j.maps = append(j.maps, &taskState{id: i})
@@ -600,7 +600,47 @@ func (m *master) submit(job Job) submitResp {
 		j.mMakespan = mc.Gauge(metrics.LayerEngine, "makespan_seconds", job.Name)
 	}
 	m.mRunningJobs.Observe(m.elapsed(), float64(m.queue.Running()))
+	m.publishStatus(j)
 	return submitResp{h: j.handle}
+}
+
+// publishStatus freezes the job's current progress into its handle for
+// lock-free Status reads. Call on every visible transition, and always
+// before clearJob releases the task slices.
+func (m *master) publishStatus(j *liveJob) {
+	st := &JobStatus{
+		ID: j.id, Job: j.spec.Name, Priority: j.spec.Priority,
+		MapsTotal: len(j.maps), ReducesTotal: len(j.reduces),
+		Stats: j.stats,
+	}
+	for _, t := range j.maps {
+		if t.done {
+			st.MapsDone++
+		}
+	}
+	for _, t := range j.reduces {
+		if t.done {
+			st.ReducesDone++
+		}
+	}
+	switch {
+	case j.finished && j.handle.err != nil:
+		st.State = JobFailed
+		st.Err = j.handle.err.Error()
+	case j.finished:
+		st.State = JobDone
+	case j.launched:
+		st.State = JobRunning
+	default:
+		st.State = JobQueued
+	}
+	if j.launched {
+		st.QueueWait = j.launchedAt.Sub(j.submittedAt)
+	}
+	if j.finished {
+		st.Makespan = j.handle.profile.Makespan
+	}
+	j.handle.status.Store(st)
 }
 
 // failUnfinished completes every unfinished handle with err (cluster
@@ -612,6 +652,7 @@ func (m *master) failUnfinished(err error) {
 		}
 		j.finished = true
 		j.handle.err = err
+		m.publishStatus(j)
 		close(j.handle.done)
 	}
 }
@@ -802,6 +843,7 @@ func (m *master) noteLaunch(j *liveJob) {
 		j.launchedAt = time.Now()
 		j.mQueueWait.Set(j.launchedAt.Sub(j.submittedAt).Seconds())
 	}
+	m.publishStatus(j)
 }
 
 // launchMap assigns a map attempt to a worker's current session.
@@ -890,6 +932,7 @@ func (m *master) handle(ev masterEvent) {
 		if ok {
 			m.mMapDur.Observe(time.Since(ref.started).Seconds())
 		}
+		m.publishStatus(j)
 	case evReduceDone:
 		t := j.reduces[ev.taskID]
 		ref, ok := m.retire(j, t, ev.attempt)
@@ -905,6 +948,8 @@ func (m *master) handle(ev masterEvent) {
 		}
 		if j.allReducesDone() {
 			m.finishJob(j)
+		} else {
+			m.publishStatus(j)
 		}
 	case evReduceStuck:
 		t := j.reduces[ev.taskID]
@@ -925,6 +970,7 @@ func (m *master) handle(ev masterEvent) {
 				m.mReexecs.IncAt(m.elapsed())
 			}
 		}
+		m.publishStatus(j)
 	}
 }
 
@@ -960,6 +1006,7 @@ func (m *master) finishJob(j *liveJob) {
 	h := j.handle
 	h.results = j.results
 	h.profile = prof
+	m.publishStatus(j)
 	close(h.done)
 	if j.attempts.Live == 0 {
 		m.clearJob(j)

@@ -48,6 +48,13 @@ type Config struct {
 	// run: cell statistics are byte-identical with metrics on or off
 	// (pinned in regression_test.go).
 	MetricsBucket float64
+	// MetricsSink, when non-nil (and MetricsBucket > 0), receives every
+	// cell collector's instrument writes as they happen — the live
+	// streaming feed the service's /v1/events endpoint fans out. Cells
+	// run concurrently, so the sink must be safe for concurrent pushes
+	// (metrics.StreamSink is). Streaming never changes what a collector
+	// records.
+	MetricsSink metrics.Sink
 }
 
 // DefaultConfig mirrors the paper's sweep with a single seed.
@@ -169,6 +176,7 @@ func (c Config) runSeed(v Variant, rate float64, seed uint64) (seedOutcome, stri
 	var col *metrics.Collector
 	if c.MetricsBucket > 0 {
 		col = metrics.New(c.MetricsBucket)
+		col.SetSink(c.MetricsSink)
 		opts.Metrics = col
 	}
 	res, err := runOne(opts, w)

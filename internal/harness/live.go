@@ -49,6 +49,17 @@ type LiveConfig struct {
 	WordsPerSplit int
 	ReducesPerJob int
 
+	// Arrivals selects the cell's submission process: "" submits every
+	// job together (the historical default), "staggered" spaces
+	// submissions ArrivalInterval simulated seconds apart, "poisson"
+	// draws exponential inter-arrivals with mean ArrivalInterval from
+	// ArrivalSeed (first job at t=0, like workload.PoissonArrivals).
+	// Offsets are simulated seconds, wall-clock compressed by
+	// Compression exactly like the churn traces.
+	Arrivals        string
+	ArrivalInterval float64
+	ArrivalSeed     uint64
+
 	// Timeout bounds one cell's wall-clock execution.
 	Timeout time.Duration
 
@@ -85,6 +96,14 @@ func DefaultLiveConfig() LiveConfig {
 // compile time rather than mid-sweep.
 func (lc LiveConfig) Validate() error {
 	lc = lc.withDefaults()
+	switch lc.Arrivals {
+	case "", "staggered", "poisson":
+	default:
+		return fmt.Errorf("harness: unknown live arrival process %q (want staggered or poisson)", lc.Arrivals)
+	}
+	if lc.Arrivals != "" && lc.ArrivalInterval < 0 {
+		return fmt.Errorf("harness: live arrival interval %v must be >= 0", lc.ArrivalInterval)
+	}
 	ecfg := engine.DefaultConfig()
 	ecfg.VolatileWorkers = lc.VolatileWorkers
 	ecfg.DedicatedWorkers = lc.DedicatedWorkers
@@ -240,6 +259,33 @@ func liveWordCountJob(i int, lc LiveConfig) engine.Job {
 	}
 }
 
+// arrivalOffsets returns each job's submission offset in simulated
+// seconds under the configured arrival process (all zero when jobs are
+// submitted together). Poisson offsets mirror workload.PoissonArrivals:
+// first job at t=0, seeded exponential inter-arrivals after it.
+func (lc LiveConfig) arrivalOffsets() []float64 {
+	off := make([]float64, lc.Jobs)
+	switch lc.Arrivals {
+	case "staggered":
+		for i := range off {
+			off[i] = float64(i) * lc.ArrivalInterval
+		}
+	case "poisson":
+		if lc.ArrivalInterval <= 0 {
+			break
+		}
+		r := rng.New(lc.ArrivalSeed)
+		t := 0.0
+		for i := range off {
+			if i > 0 {
+				t += r.Exponential(lc.ArrivalInterval)
+			}
+			off[i] = t
+		}
+	}
+	return off
+}
+
 // runLiveSeed executes one live sweep cell: its own engine cluster, its
 // own churn traces (seeded like the simulator's cluster layer), its own
 // collector — cells share nothing, so the fanOut pool runs them
@@ -264,6 +310,7 @@ func (c Config) runLiveSeed(lc LiveConfig, v LiveVariant, rate float64, seed uin
 	var col *metrics.Collector
 	if c.MetricsBucket > 0 {
 		col = metrics.New(c.MetricsBucket)
+		col.SetSink(c.MetricsSink)
 		ecfg.Metrics = col
 	}
 	cl, err := engine.New(ecfg)
@@ -282,10 +329,23 @@ func (c Config) runLiveSeed(lc LiveConfig, v LiveVariant, rate float64, seed uin
 	}()
 
 	start := time.Now()
+	offsets := lc.arrivalOffsets()
 	handles := make([]*engine.JobHandle, lc.Jobs)
+	submitted := make([]time.Time, lc.Jobs)
 	for i := 0; i < lc.Jobs; i++ {
+		// Hold each submission to its arrival offset, wall-clock
+		// compressed like the churn replay.
+		at := time.Duration(offsets[i] * float64(lc.Compression))
+		if wait := at - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return fail(ctx.Err())
+			}
+		}
 		job := liveWordCountJob(i, lc)
 		job.Priority = v.Priorities[job.Name]
+		submitted[i] = time.Now()
 		if handles[i], err = cl.Submit(job); err != nil {
 			return fail(err)
 		}
@@ -306,7 +366,9 @@ func (c Config) runLiveSeed(lc LiveConfig, v LiveVariant, rate float64, seed uin
 		st.BackupCopies += float64(prof.Stats.BackupCopies)
 		st.MapReexecs += float64(prof.Stats.MapReexecs)
 		st.FetchFailures += float64(prof.Stats.FetchFailures)
-		if end := start.Add(prof.Makespan); end.After(last) {
+		// Span is first submission → last completion: each job's end is
+		// anchored to its own (possibly offset) submission time.
+		if end := submitted[i].Add(prof.Makespan); end.After(last) {
 			last = end
 		}
 	}

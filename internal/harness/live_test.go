@@ -129,3 +129,81 @@ func TestLiveVariantsDefaultsAndSelectors(t *testing.T) {
 		t.Fatalf("alias label %q", alias[1].Label)
 	}
 }
+
+func TestLiveArrivalOffsets(t *testing.T) {
+	lc := DefaultLiveConfig()
+	lc.Jobs = 4
+
+	// Default: every job submitted together.
+	for i, off := range lc.arrivalOffsets() {
+		if off != 0 {
+			t.Fatalf("default offset %d = %v, want 0", i, off)
+		}
+	}
+
+	lc.Arrivals = "staggered"
+	lc.ArrivalInterval = 15
+	got := lc.arrivalOffsets()
+	for i, off := range got {
+		if off != float64(i)*15 {
+			t.Fatalf("staggered offsets %v", got)
+		}
+	}
+
+	lc.Arrivals = "poisson"
+	lc.ArrivalSeed = 9
+	a := lc.arrivalOffsets()
+	b := lc.arrivalOffsets()
+	if a[0] != 0 {
+		t.Fatalf("poisson first offset %v, want 0", a[0])
+	}
+	prev := -1.0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("poisson offsets not deterministic: %v vs %v", a, b)
+		}
+		if a[i] < prev {
+			t.Fatalf("poisson offsets decrease: %v", a)
+		}
+		prev = a[i]
+	}
+	if a[1] == 15 && a[2] == 30 {
+		t.Fatalf("poisson offsets look staggered: %v", a)
+	}
+
+	lc.Arrivals = "burst"
+	if err := lc.Validate(); err == nil {
+		t.Fatal("unknown arrival process validated")
+	}
+	lc.Arrivals = "staggered"
+	lc.ArrivalInterval = -1
+	if err := lc.Validate(); err == nil {
+		t.Fatal("negative arrival interval validated")
+	}
+}
+
+func TestLiveSweepWithArrivalOffsets(t *testing.T) {
+	lc := DefaultLiveConfig()
+	lc.HorizonSeconds = 60
+	lc.Jobs = 3
+	lc.SplitsPerJob = 4
+	lc.WordsPerSplit = 80
+	lc.ReducesPerJob = 2
+	lc.Timeout = 45 * time.Second
+	lc.Arrivals = "staggered"
+	lc.ArrivalInterval = 20 // 20 ms of wall clock at 1 ms compression
+
+	cfg := Config{Seeds: []uint64{1}, Rates: []float64{0.2}}
+	sw, err := cfg.RunLiveSweep("live arrivals", lc, LiveVariants([]string{"fifo"}, nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sw.Get("live-fifo", 0.2)
+	if st.Completed != 3 {
+		t.Fatalf("completed %v of 3", st.Completed)
+	}
+	// The span covers at least the last arrival offset: 40 ms.
+	if st.Span < 0.040 {
+		t.Fatalf("span %v shorter than the last arrival offset", st.Span)
+	}
+}

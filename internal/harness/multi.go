@@ -69,6 +69,7 @@ func (c Config) runMultiSeed(v MultiVariant, rate float64, seed uint64) (multiOu
 	var col *metrics.Collector
 	if c.MetricsBucket > 0 {
 		col = metrics.New(c.MetricsBucket)
+		col.SetSink(c.MetricsSink)
 		opts.Metrics = col
 	}
 	s, err := core.NewForMultiWorkload(opts, m)

@@ -49,6 +49,7 @@ type Histogram struct {
 	count  int64
 	min    float64
 	max    float64
+	sink   Sink
 }
 
 // Histogram returns the histogram registered under (layer, name, scope),
@@ -62,7 +63,7 @@ func (c *Collector) Histogram(layer Layer, name, scope string) *Histogram {
 	if h := c.hIndex[k]; h != nil {
 		return h
 	}
-	h := &Histogram{key: k, counts: make([]int64, HistBuckets+1)}
+	h := &Histogram{key: k, counts: make([]int64, HistBuckets+1), sink: c.sink}
 	c.hIndex[k] = h
 	c.histograms = append(c.histograms, h)
 	return h
@@ -88,6 +89,10 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.sum += v
 	h.count++
+	if h.sink != nil {
+		h.sink.Push(Update{Layer: h.key.Layer, Name: h.key.Name, Scope: h.key.Scope,
+			Kind: "histogram", Time: -1, Value: v})
+	}
 }
 
 // Count returns the number of observations (0 for a nil histogram).

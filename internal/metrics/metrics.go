@@ -71,6 +71,7 @@ func (k Key) less(o Key) bool {
 // every instrument it returns is nil, and nil instruments no-op.
 type Collector struct {
 	bucket float64
+	sink   Sink // optional push sink (stream.go); nil = no streaming
 
 	counters   []*Counter
 	gauges     []*Gauge
@@ -116,7 +117,7 @@ func (c *Collector) Counter(layer Layer, name, scope string) *Counter {
 	if ctr := c.cIndex[k]; ctr != nil {
 		return ctr
 	}
-	ctr := &Counter{key: k}
+	ctr := &Counter{key: k, sink: c.sink}
 	c.cIndex[k] = ctr
 	c.counters = append(c.counters, ctr)
 	return ctr
@@ -146,7 +147,7 @@ func (c *Collector) Gauge(layer Layer, name, scope string) *Gauge {
 	if g := c.gIndex[k]; g != nil {
 		return g
 	}
-	g := &Gauge{key: k}
+	g := &Gauge{key: k, sink: c.sink}
 	c.gIndex[k] = g
 	c.gauges = append(c.gauges, g)
 	return g
@@ -174,7 +175,7 @@ func (c *Collector) newSeries(layer Layer, name, scope, kind string) *Series {
 	if s := c.sIndex[k]; s != nil {
 		return s
 	}
-	s := &Series{key: k, kind: kind, width: c.bucket}
+	s := &Series{key: k, kind: kind, width: c.bucket, sink: c.sink}
 	c.sIndex[k] = s
 	c.series = append(c.series, s)
 	return s
@@ -195,6 +196,7 @@ type Counter struct {
 	key    Key
 	total  float64
 	series *Series // optional timeline (TimedCounter)
+	sink   Sink
 }
 
 // Inc adds 1.
@@ -206,6 +208,10 @@ func (c *Counter) Add(v float64) {
 		return
 	}
 	c.total += v
+	if c.sink != nil {
+		c.sink.Push(Update{Layer: c.key.Layer, Name: c.key.Name, Scope: c.key.Scope,
+			Kind: "counter", Time: -1, Value: c.total})
+	}
 }
 
 // AddAt adds v to the total and, for a TimedCounter, to the bucket of time
@@ -216,6 +222,10 @@ func (c *Counter) AddAt(t, v float64) {
 	}
 	c.total += v
 	c.series.add(t, v)
+	if c.sink != nil {
+		c.sink.Push(Update{Layer: c.key.Layer, Name: c.key.Name, Scope: c.key.Scope,
+			Kind: "counter", Time: t, Value: c.total})
+	}
 }
 
 // IncAt is AddAt(t, 1).
@@ -235,6 +245,7 @@ type Gauge struct {
 	v        float64
 	min, max float64
 	set      bool
+	sink     Sink
 }
 
 // Set records v.
@@ -254,6 +265,10 @@ func (g *Gauge) Set(v float64) {
 		}
 	}
 	g.v = v
+	if g.sink != nil {
+		g.sink.Push(Update{Layer: g.key.Layer, Name: g.key.Name, Scope: g.key.Scope,
+			Kind: "gauge", Time: -1, Value: v})
+	}
 }
 
 // Value returns the last-set value (0 for a nil or never-set gauge).
@@ -279,6 +294,7 @@ type Series struct {
 	kind    string
 	width   float64
 	buckets []bucketAgg
+	sink    Sink
 }
 
 // Add accumulates v into the bucket of time t (rate semantics).
@@ -321,6 +337,10 @@ func (s *Series) add(t, v float64) {
 	}
 	b.sum += v
 	b.count++
+	if s.sink != nil {
+		s.sink.Push(Update{Layer: s.key.Layer, Name: s.key.Name, Scope: s.key.Scope,
+			Kind: s.kind, Time: t, Value: v})
+	}
 }
 
 // Snapshot freezes the collector's state into a deterministic, exportable

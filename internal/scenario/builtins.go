@@ -207,7 +207,7 @@ func liveMix() *Spec {
 	return &Spec{
 		Schema:      Schema,
 		Name:        "live-mix",
-		Description: "Live engine: 3 concurrent real word counts under trace-compressed churn, fifo vs fair vs priority (job 2 promoted).",
+		Description: "Live engine: 3 real word counts arriving staggered under trace-compressed churn, fifo vs fair vs priority (job 2 promoted).",
 		Execution:   "live",
 		Live: &LiveSpec{
 			VolatileWorkers:  4,
@@ -222,9 +222,14 @@ func liveMix() *Spec {
 		Experiments: []Experiment{{
 			App: "wordcount",
 			Multi: &MultiExperiment{
-				Jobs:       3,
-				Policies:   []string{"fifo", "fair", "priority"},
-				Priorities: map[string]int{"live-j2": 5},
+				Jobs: 3,
+				// 10 simulated seconds between submissions — 10 ms of
+				// wall clock at the 1 ms compression, so later jobs
+				// genuinely arrive while earlier ones run.
+				Arrivals:        "staggered",
+				IntervalSeconds: 10,
+				Policies:        []string{"fifo", "fair", "priority"},
+				Priorities:      map[string]int{"live-j2": 5},
 			},
 		}},
 	}
@@ -269,8 +274,13 @@ func chaosLive() *Spec {
 		Experiments: []Experiment{{
 			App: "wordcount",
 			Multi: &MultiExperiment{
-				Jobs:     3,
-				Policies: []string{"fair"},
+				Jobs: 3,
+				// Seeded Poisson arrivals (mean 10 simulated seconds)
+				// land submissions inside the fault windows.
+				Arrivals:        "poisson",
+				IntervalSeconds: 10,
+				ArrivalSeed:     7,
+				Policies:        []string{"fair"},
 			},
 		}},
 	}

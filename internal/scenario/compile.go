@@ -164,6 +164,16 @@ func compileLive(e *Experiment, l *LiveSpec) (PlanRun, error) {
 	m := e.Multi
 	lc := l.liveConfig()
 	lc.Jobs = m.Jobs
+	// An explicit arrival process lowers to compressed wall-clock
+	// submission offsets; none keeps the submit-together default.
+	if m.Arrivals != "" {
+		lc.Arrivals = m.Arrivals
+		lc.ArrivalInterval = m.IntervalSeconds
+		lc.ArrivalSeed = m.ArrivalSeed
+		if m.LambdaPerHour > 0 {
+			lc.ArrivalInterval = 3600 / m.LambdaPerHour
+		}
+	}
 	// Validate() already resolved every policy name; LiveVariants attaches
 	// weights/priorities to the policies that read them.
 	return PlanRun{

@@ -27,6 +27,12 @@ type Flags struct {
 	Lambda        float64 // poisson arrivals: jobs per hour
 	ArrivalSeed   uint64
 	MetricsBucket float64
+	// ExplicitArrivals marks the arrival flags as explicitly set on the
+	// command line. The live experiment defaults to submitting every job
+	// together, so only an explicit request becomes a live arrival
+	// process; the multi experiment ignores this (its arrivals always
+	// apply).
+	ExplicitArrivals bool
 }
 
 // FromFlags validates a flag set the way the legacy CLI did (a typo'd
@@ -49,7 +55,9 @@ func FromFlags(f Flags) (*Spec, error) {
 	}
 
 	// The live experiment runs the goroutine engine: real word counts
-	// under churn, jobs submitted together (no arrival process).
+	// under churn. Jobs are submitted together unless arrival flags were
+	// explicitly given, which stagger submissions in compressed
+	// wall-clock time.
 	if f.Experiment == "live" {
 		if f.App == "sort" {
 			return nil, fmt.Errorf("-experiment live executes real word counts (-app wordcount)")
@@ -57,6 +65,22 @@ func FromFlags(f Flags) (*Spec, error) {
 		policies, err := livePolicies(f.Policy)
 		if err != nil {
 			return nil, err
+		}
+		liveMulti := &MultiExperiment{Jobs: f.Jobs, Policies: policies}
+		if f.ExplicitArrivals {
+			liveMulti.Arrivals = f.Arrivals
+			switch f.Arrivals {
+			case "staggered":
+				liveMulti.IntervalSeconds = f.Stagger
+			case "poisson":
+				if f.Lambda <= 0 {
+					return nil, fmt.Errorf("poisson arrivals need -lambda > 0 (got %v)", f.Lambda)
+				}
+				liveMulti.IntervalSeconds = 3600 / f.Lambda
+				liveMulti.ArrivalSeed = f.ArrivalSeed
+			default:
+				return nil, fmt.Errorf("unknown arrival process %q (want staggered or poisson)", f.Arrivals)
+			}
 		}
 		return &Spec{
 			Schema:      Schema,
@@ -72,7 +96,7 @@ func FromFlags(f Flags) (*Spec, error) {
 			Metrics: MetricsSpec{BucketSeconds: f.MetricsBucket},
 			Experiments: []Experiment{{
 				App:   "wordcount",
-				Multi: &MultiExperiment{Jobs: f.Jobs, Policies: policies},
+				Multi: liveMulti,
 			}},
 		}, nil
 	}

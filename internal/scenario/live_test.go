@@ -59,7 +59,17 @@ func TestLiveSpecValidationRejections(t *testing.T) {
 		}},
 		{"sort app", func(s *Spec) { s.Experiments[0].App = "sort" }},
 		{"renders", func(s *Spec) { s.Experiments[0].Renders = []string{"multi"} }},
-		{"arrival process", func(s *Spec) { s.Experiments[0].Multi.Arrivals = "poisson"; s.Experiments[0].Multi.LambdaPerHour = 10 }},
+		{"arrival fields without a process", func(s *Spec) {
+			s.Experiments[0].Multi.Arrivals = ""
+			s.Experiments[0].Multi.LambdaPerHour = 10
+			s.Experiments[0].Multi.IntervalSeconds = 0
+		}},
+		{"unknown arrival process", func(s *Spec) { s.Experiments[0].Multi.Arrivals = "burst" }},
+		{"poisson without interval or lambda", func(s *Spec) {
+			s.Experiments[0].Multi.Arrivals = "poisson"
+			s.Experiments[0].Multi.IntervalSeconds = 0
+		}},
+		{"staggered with lambda", func(s *Spec) { s.Experiments[0].Multi.LambdaPerHour = 10 }},
 		{"zero jobs", func(s *Spec) { s.Experiments[0].Multi.Jobs = 0 }},
 		{"unknown policy", func(s *Spec) { s.Experiments[0].Multi.Policies = []string{"lottery"} }},
 		{"duplicate canonical policy", func(s *Spec) {
@@ -133,6 +143,9 @@ func TestCompileLiveLowersPlan(t *testing.T) {
 	}
 	if lc.NoDedicatedReplication {
 		t.Fatal("dedicated replication off by default")
+	}
+	if lc.Arrivals != "staggered" || lc.ArrivalInterval != 10 {
+		t.Fatalf("arrivals not lowered: %+v", lc)
 	}
 	vs := run.Live.Variants
 	if len(vs) != 3 || vs[0].Policy != "fifo" || vs[1].Policy != "fair" || vs[2].Policy != "priority" {

@@ -587,8 +587,10 @@ func (l *LiveSpec) validate() error {
 
 // validateLive checks an experiment under execution "live": only multi-job
 // policy sweeps apply (the engine executes real word counts — figures,
-// ablations and custom stack deltas are simulator concepts), submissions
-// are immediate (no arrival process), and renders are fixed.
+// ablations and custom stack deltas are simulator concepts) and renders
+// are fixed. An explicit arrival process staggers submissions in
+// compressed wall-clock time; with none, jobs are submitted together (the
+// historical live default).
 func (e *Experiment) validateLive() error {
 	if e.Multi == nil {
 		return fmt.Errorf("live execution runs multi-job experiments only (figure/ablation/correlated/custom are simulator sweeps)")
@@ -606,8 +608,12 @@ func (e *Experiment) validateLive() error {
 	if m.Jobs < 1 {
 		return fmt.Errorf("live multi needs jobs >= 1 (got %d)", m.Jobs)
 	}
-	if m.Arrivals != "" || m.IntervalSeconds != 0 || m.LambdaPerHour != 0 || m.ArrivalSeed != 0 {
-		return fmt.Errorf("live jobs are submitted together (arrival fields do not apply)")
+	if m.Arrivals == "" {
+		if m.IntervalSeconds != 0 || m.LambdaPerHour != 0 || m.ArrivalSeed != 0 {
+			return fmt.Errorf("live arrival fields need an explicit arrivals process (\"staggered\" or \"poisson\"; empty submits every job together)")
+		}
+	} else if err := validateArrivals(m.Arrivals, m.IntervalSeconds, m.LambdaPerHour); err != nil {
+		return err
 	}
 	return m.validatePolicies()
 }

@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Admission control: per-tenant quotas over the shared scheduling core.
+// The queue and policies decide which running job gets the next slot;
+// Admission decides whether a tenant may add to the job stream at all —
+// how many of its submissions may run concurrently and how many more may
+// wait queued behind them. The accounting is backend-agnostic (it counts
+// submissions, not task attempts) and concurrency-safe, because admission
+// decisions arrive from many client connections at once.
+
+// QuotaConfig bounds one tenant's footprint on the job stream.
+type QuotaConfig struct {
+	// MaxConcurrent caps the tenant's simultaneously running submissions.
+	// <= 0 means unlimited.
+	MaxConcurrent int
+	// MaxQueued caps submissions held waiting behind the concurrency cap.
+	// <= 0 means nothing may queue: past MaxConcurrent, submissions are
+	// rejected outright.
+	MaxQueued int
+}
+
+// QuotaError reports a rejected submission: which tenant hit which limit.
+// Callers map it to HTTP 429 with a Retry-After hint.
+type QuotaError struct {
+	Tenant string
+	// Kind is "concurrent" (the run cap with no queue room... MaxQueued 0)
+	// or "queued" (the waiting room itself is full).
+	Kind  string
+	Limit int
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("sched: tenant %q exceeded %s quota (%d)", e.Tenant, e.Kind, e.Limit)
+}
+
+// Admission tracks per-tenant running/queued submission counts against
+// quotas. The zero value is not usable; create with NewAdmission. All
+// methods are safe for concurrent use.
+type Admission struct {
+	mu        sync.Mutex
+	def       QuotaConfig
+	overrides map[string]QuotaConfig
+	use       map[string]*Usage
+}
+
+// Usage is one tenant's current admission footprint.
+type Usage struct {
+	Running int `json:"running"`
+	Queued  int `json:"queued"`
+}
+
+// NewAdmission returns an admission controller applying def to every
+// tenant, with optional per-tenant overrides keyed by tenant name.
+func NewAdmission(def QuotaConfig, overrides map[string]QuotaConfig) *Admission {
+	a := &Admission{def: def, use: make(map[string]*Usage)}
+	if len(overrides) > 0 {
+		a.overrides = make(map[string]QuotaConfig, len(overrides))
+		for k, v := range overrides {
+			a.overrides[k] = v
+		}
+	}
+	return a
+}
+
+// Quota returns the config governing the tenant.
+func (a *Admission) Quota(tenant string) QuotaConfig {
+	if q, ok := a.overrides[tenant]; ok {
+		return q
+	}
+	return a.def
+}
+
+func (a *Admission) usage(tenant string) *Usage {
+	u := a.use[tenant]
+	if u == nil {
+		u = &Usage{}
+		a.use[tenant] = u
+	}
+	return u
+}
+
+// TryAcquire admits one submission for the tenant. It returns run=true
+// when the submission may start immediately (counted running), run=false
+// when it was admitted into the wait queue (counted queued; the caller
+// parks it and later pairs it with Promote), or a *QuotaError when both
+// the concurrency cap and the queue are full.
+func (a *Admission) TryAcquire(tenant string) (run bool, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	q := a.Quota(tenant)
+	u := a.usage(tenant)
+	if q.MaxConcurrent <= 0 || u.Running < q.MaxConcurrent {
+		u.Running++
+		return true, nil
+	}
+	if u.Queued < q.MaxQueued {
+		u.Queued++
+		return false, nil
+	}
+	kind, limit := "queued", q.MaxQueued
+	if q.MaxQueued <= 0 {
+		kind, limit = "concurrent", q.MaxConcurrent
+	}
+	return false, &QuotaError{Tenant: tenant, Kind: kind, Limit: limit}
+}
+
+// Promote moves one queued submission to running — the caller decided to
+// start a parked submission (normally after Release reported room).
+func (a *Admission) Promote(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	u := a.usage(tenant)
+	if u.Queued > 0 {
+		u.Queued--
+	}
+	u.Running++
+}
+
+// Release retires one running submission and reports whether a queued
+// submission of the same tenant can now be promoted.
+func (a *Admission) Release(tenant string) (promote bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	q := a.Quota(tenant)
+	u := a.usage(tenant)
+	if u.Running > 0 {
+		u.Running--
+	}
+	return u.Queued > 0 && (q.MaxConcurrent <= 0 || u.Running < q.MaxConcurrent)
+}
+
+// Use returns a copy of the tenant's current footprint.
+func (a *Admission) Use(tenant string) Usage {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if u := a.use[tenant]; u != nil {
+		return *u
+	}
+	return Usage{}
+}

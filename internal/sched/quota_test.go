@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAdmissionQuotaFlow(t *testing.T) {
+	a := NewAdmission(QuotaConfig{MaxConcurrent: 2, MaxQueued: 1}, nil)
+
+	// Two run immediately, the third queues, the fourth is rejected.
+	for i := 0; i < 2; i++ {
+		run, err := a.TryAcquire("t1")
+		if err != nil || !run {
+			t.Fatalf("acquire %d: run=%v err=%v", i, run, err)
+		}
+	}
+	run, err := a.TryAcquire("t1")
+	if err != nil || run {
+		t.Fatalf("third acquire: run=%v err=%v, want queued", run, err)
+	}
+	_, err = a.TryAcquire("t1")
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("fourth acquire err = %v, want QuotaError", err)
+	}
+	if qe.Tenant != "t1" || qe.Kind != "queued" || qe.Limit != 1 {
+		t.Fatalf("QuotaError = %+v", qe)
+	}
+	if u := a.Use("t1"); u.Running != 2 || u.Queued != 1 {
+		t.Fatalf("usage = %+v", u)
+	}
+
+	// Releasing one running slot frees room to promote the queued one.
+	if !a.Release("t1") {
+		t.Fatal("release should report a promotable queued submission")
+	}
+	a.Promote("t1")
+	if u := a.Use("t1"); u.Running != 2 || u.Queued != 0 {
+		t.Fatalf("usage after promote = %+v", u)
+	}
+
+	// Tenants are independent.
+	if run, err := a.TryAcquire("t2"); err != nil || !run {
+		t.Fatalf("t2 acquire: run=%v err=%v", run, err)
+	}
+}
+
+func TestAdmissionZeroQueueRejectsWithConcurrentKind(t *testing.T) {
+	a := NewAdmission(QuotaConfig{MaxConcurrent: 1}, nil)
+	if run, err := a.TryAcquire("t"); err != nil || !run {
+		t.Fatalf("first acquire: run=%v err=%v", run, err)
+	}
+	_, err := a.TryAcquire("t")
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Kind != "concurrent" {
+		t.Fatalf("err = %v, want concurrent QuotaError", err)
+	}
+}
+
+func TestAdmissionUnlimitedAndOverrides(t *testing.T) {
+	a := NewAdmission(QuotaConfig{MaxConcurrent: 1}, map[string]QuotaConfig{
+		"vip": {MaxConcurrent: 0}, // unlimited
+	})
+	for i := 0; i < 50; i++ {
+		if run, err := a.TryAcquire("vip"); err != nil || !run {
+			t.Fatalf("vip acquire %d: run=%v err=%v", i, run, err)
+		}
+	}
+	if _, err := a.TryAcquire("vip"); err != nil {
+		t.Fatalf("vip must be unlimited, got %v", err)
+	}
+}
+
+func TestAdmissionConcurrentSafety(t *testing.T) {
+	a := NewAdmission(QuotaConfig{MaxConcurrent: 4, MaxQueued: 4}, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				run, err := a.TryAcquire("t")
+				if err != nil {
+					continue
+				}
+				if !run {
+					a.Promote("t")
+				}
+				a.Release("t")
+			}
+		}()
+	}
+	wg.Wait()
+	if u := a.Use("t"); u.Running != 0 || u.Queued != 0 {
+		t.Fatalf("accounting leaked: %+v", u)
+	}
+}

@@ -1,0 +1,279 @@
+// Command servicesmoke is the CI client for a running moonbenchd: it
+// submits a scenario file, watches /v1/events while the run streams, polls
+// the submission to completion, fetches the moon-metrics/v1 report,
+// validates it, and writes it out as an artifact.
+//
+//	moonbenchd -addr 127.0.0.1:8321 &
+//	go run ./scripts/servicesmoke -addr http://127.0.0.1:8321 \
+//	  -scenario scenarios/live-mix.json -seeds 1 -rates 0.3 -out service_smoke.json
+//
+// It exits nonzero when any step fails: unreachable service, rejected
+// spec, failed run, invalid report, or a silent event stream.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "moonbenchd base URL")
+	scenarioPath := flag.String("scenario", "", "moon-scenario/v1 file to submit (required)")
+	out := flag.String("out", "", "where to write the fetched report (required)")
+	seeds := flag.String("seeds", "", "override the spec's sweep seeds (comma-separated)")
+	rates := flag.String("rates", "", "override the spec's sweep rates (comma-separated)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	flag.Parse()
+	if *scenarioPath == "" || *out == "" {
+		fatal(fmt.Errorf("-scenario and -out are required"))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	spec, err := loadSpec(*scenarioPath, *seeds, *rates)
+	if err != nil {
+		fatal(err)
+	}
+	if err := waitHealthy(ctx, *addr); err != nil {
+		fatal(err)
+	}
+
+	// Count streamed metric frames for the whole run: the stream is the
+	// tentpole's live feed and must carry updates while the run executes.
+	var metricFrames, jobFrames atomic.Int64
+	streamCtx, stopStream := context.WithCancel(ctx)
+	defer stopStream()
+	streamDone := make(chan error, 1)
+	go func() { streamDone <- watchEvents(streamCtx, *addr, &metricFrames, &jobFrames) }()
+
+	id, err := submit(ctx, *addr, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("submitted scenario as %s\n", id)
+	if err := pollDone(ctx, *addr, id); err != nil {
+		fatal(err)
+	}
+	report, err := fetchReport(ctx, *addr, id)
+	if err != nil {
+		fatal(err)
+	}
+	if err := validateReport(report); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, report, 0o644); err != nil {
+		fatal(err)
+	}
+	stopStream()
+	<-streamDone
+	if metricFrames.Load() == 0 {
+		fatal(fmt.Errorf("/v1/events delivered no metric frames during the run"))
+	}
+	fmt.Printf("ok: report %s (%d bytes), %d metric + %d job frames streamed\n",
+		*out, len(report), metricFrames.Load(), jobFrames.Load())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "servicesmoke:", err)
+	os.Exit(1)
+}
+
+// loadSpec reads the scenario file and, when asked, patches the sweep the
+// way CI's CLI smokes pass -seeds/-rates.
+func loadSpec(path, seeds, rates string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if seeds == "" && rates == "" {
+		return raw, nil
+	}
+	var spec map[string]any
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	sweep, _ := spec["sweep"].(map[string]any)
+	if sweep == nil {
+		sweep = make(map[string]any)
+		spec["sweep"] = sweep
+	}
+	if seeds != "" {
+		var vs []uint64
+		for _, f := range strings.Split(seeds, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-seeds: %w", err)
+			}
+			vs = append(vs, v)
+		}
+		sweep["seeds"] = vs
+	}
+	if rates != "" {
+		var vs []float64
+		for _, f := range strings.Split(rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("-rates: %w", err)
+			}
+			vs = append(vs, v)
+		}
+		sweep["rates"] = vs
+	}
+	return json.Marshal(spec)
+}
+
+func waitHealthy(ctx context.Context, addr string) error {
+	for {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("service never became healthy at %s: %w (last: %v)", addr, ctx.Err(), err)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func watchEvents(ctx context.Context, addr string, metricFrames, jobFrames *atomic.Int64) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	current := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			current = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			switch current {
+			case "metric":
+				metricFrames.Add(1)
+			case "job":
+				jobFrames.Add(1)
+			}
+		}
+	}
+	return nil
+}
+
+type status struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+func submit(ctx context.Context, addr string, spec []byte) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/scenarios", bytes.NewReader(spec))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Moon-Tenant", "ci")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit: %d %s", resp.StatusCode, raw)
+	}
+	var st status
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return "", fmt.Errorf("submit body %q: %w", raw, err)
+	}
+	return st.ID, nil
+}
+
+func pollDone(ctx context.Context, addr, id string) error {
+	for {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("poll: %d %s", resp.StatusCode, raw)
+		}
+		var st status
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return fmt.Errorf("poll body %q: %w", raw, err)
+		}
+		switch st.State {
+		case "done":
+			return nil
+		case "failed":
+			return fmt.Errorf("run failed: %s", st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("run still %s: %w", st.State, ctx.Err())
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+func fetchReport(ctx context.Context, addr, id string) ([]byte, error) {
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/jobs/"+id+"/report", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("report: %d %s", resp.StatusCode, raw)
+	}
+	return raw, nil
+}
+
+// validateReport checks the fetched document is well-formed
+// moon-metrics/v1 with at least one experiment entry.
+func validateReport(raw []byte) error {
+	var doc struct {
+		Schema      string `json:"schema"`
+		Tool        string `json:"tool"`
+		Scenario    string `json:"scenario"`
+		Experiments []struct {
+			Experiment string `json:"experiment"`
+			Variant    string `json:"variant"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("report is not valid JSON: %w", err)
+	}
+	if doc.Schema != "moon-metrics/v1" {
+		return fmt.Errorf("report schema %q, want moon-metrics/v1", doc.Schema)
+	}
+	if len(doc.Experiments) == 0 {
+		return fmt.Errorf("report has no experiment entries")
+	}
+	return nil
+}
