@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DirectivePrefix introduces a suppression comment:
+//
+//	//moonvet:allow <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory — every suppression must say why the invariant
+// does not apply — and is surfaced in the multichecker's summary so
+// suppression growth stays visible PR over PR. A directive written at
+// the end of a line suppresses matching diagnostics reported on that
+// line; a directive on a line of its own suppresses them on the next
+// line. A directive that suppresses nothing is itself an error, so stale
+// suppressions cannot linger after the code they excused is gone.
+const DirectivePrefix = "//moonvet:allow"
+
+// Directive is one parsed //moonvet:allow comment.
+type Directive struct {
+	Pos       token.Position
+	Analyzers []string
+	Reason    string
+	// Line is the source line the directive suppresses diagnostics on.
+	Line int
+	// Err describes a malformed directive (missing reason, empty
+	// analyzer list). Malformed directives are always reported.
+	Err string
+
+	used bool
+}
+
+// parseDirectives extracts the //moonvet:allow directives of one file.
+// src is the file's source, used to decide whether a directive stands
+// alone on its line (covering the next line) or trails code (covering
+// its own line).
+func parseDirectives(fset *token.FileSet, f *ast.File, src []byte) []*Directive {
+	var out []*Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := &Directive{Pos: pos, Line: pos.Line}
+			if standaloneComment(fset, c, src) {
+				d.Line = pos.Line + 1
+			}
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				d.Err = "missing analyzer list and reason"
+			case len(fields) == 1:
+				d.Analyzers = splitList(fields[0])
+				d.Err = "missing reason (write //moonvet:allow <analyzer> <reason>)"
+			default:
+				d.Analyzers = splitList(fields[0])
+				d.Reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// standaloneComment reports whether nothing but whitespace precedes c on
+// its source line.
+func standaloneComment(fset *token.FileSet, c *ast.Comment, src []byte) bool {
+	tf := fset.File(c.Pos())
+	if tf == nil || src == nil {
+		return fset.Position(c.Pos()).Column == 1
+	}
+	start := tf.Offset(tf.LineStart(fset.Position(c.Pos()).Line))
+	end := tf.Offset(c.Pos())
+	if start < 0 || end > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:end])) == ""
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Suppression records one applied directive for the summary.
+type Suppression struct {
+	Position token.Position
+	Analyzer string
+	Reason   string
+}
+
+// Result is the outcome of a Check run.
+type Result struct {
+	// Findings are the surviving (unsuppressed) diagnostics plus any
+	// directive errors, sorted by position.
+	Findings []Finding
+	// Suppressed records each diagnostic silenced by a directive.
+	Suppressed []Suppression
+}
+
+// Ok reports whether the checked code is clean.
+func (r *Result) Ok() bool { return len(r.Findings) == 0 }
+
+// Summary renders the suppression count summary, one line per analyzer,
+// for the CI job summary. Empty string when nothing is suppressed.
+func (r *Result) Summary() string {
+	if len(r.Suppressed) == 0 {
+		return ""
+	}
+	byAnalyzer := make(map[string]int)
+	for _, s := range r.Suppressed {
+		byAnalyzer[s.Analyzer]++
+	}
+	names := make([]string, 0, len(byAnalyzer))
+	for n := range byAnalyzer {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d suppression(s):\n", len(r.Suppressed))
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %s: %d\n", n, byAnalyzer[n])
+	}
+	for _, s := range r.Suppressed {
+		fmt.Fprintf(&b, "  %s: %s: %s\n", s.Position, s.Analyzer, s.Reason)
+	}
+	return b.String()
+}
+
+// Check runs the analyzers over the packages and applies the packages'
+// //moonvet:allow directives: a diagnostic is suppressed when a
+// well-formed directive naming its analyzer covers its line in its file.
+// Malformed directives, unknown analyzer names in directives, and
+// directives that suppress nothing are reported as findings under the
+// pseudo-analyzer "moonvet".
+func Check(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	findings, err := Run(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	res := &Result{}
+	var directives []*Directive
+	for _, pkg := range pkgs {
+		for _, d := range pkg.Directives {
+			if d.Err != "" {
+				res.Findings = append(res.Findings, Finding{
+					Position: d.Pos, Analyzer: "moonvet",
+					Message: "malformed directive: " + d.Err,
+				})
+				continue
+			}
+			bad := false
+			for _, a := range d.Analyzers {
+				if !known[a] {
+					res.Findings = append(res.Findings, Finding{
+						Position: d.Pos, Analyzer: "moonvet",
+						Message: fmt.Sprintf("directive names unknown analyzer %q", a),
+					})
+					bad = true
+				}
+			}
+			if !bad {
+				directives = append(directives, d)
+			}
+		}
+	}
+
+	covers := func(d *Directive, f Finding) bool {
+		if d.Pos.Filename != f.Position.Filename || d.Line != f.Position.Line {
+			return false
+		}
+		for _, a := range d.Analyzers {
+			if a == f.Analyzer {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range directives {
+			if covers(d, f) {
+				d.used = true
+				suppressed = true
+				res.Suppressed = append(res.Suppressed, Suppression{
+					Position: f.Position, Analyzer: f.Analyzer, Reason: d.Reason,
+				})
+				break
+			}
+		}
+		if !suppressed {
+			res.Findings = append(res.Findings, f)
+		}
+	}
+	for _, d := range directives {
+		if !d.used {
+			res.Findings = append(res.Findings, Finding{
+				Position: d.Pos, Analyzer: "moonvet",
+				Message: fmt.Sprintf("directive suppresses nothing (analyzers %s have no finding on line %d)",
+					strings.Join(d.Analyzers, ","), d.Line),
+			})
+		}
+	}
+	sortFindings(res.Findings)
+	return res, nil
+}

@@ -1,0 +1,135 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// dummy flags every function whose name starts with "Bad".
+var dummy = &analysis.Analyzer{
+	Name: "dummy",
+	Doc:  "flags functions named Bad*",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Bad") {
+					pass.Reportf(fd.Pos(), "function %s is bad", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func loadAllowFixture(t *testing.T) []*analysis.Package {
+	t.Helper()
+	pkgs, err := analysis.LoadTree("testdata/allow/src", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// TestAllowDirectives pins the whole suppression surface: inline and
+// standalone directives suppress (and are counted with their reasons),
+// while unsuppressed findings, reasonless directives, unknown analyzer
+// names and directives that suppress nothing all fail the check.
+func TestAllowDirectives(t *testing.T) {
+	res, err := analysis.Check(loadAllowFixture(t), []*analysis.Analyzer{dummy})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Suppressed) != 2 {
+		t.Errorf("suppressed %d findings, want 2: %+v", len(res.Suppressed), res.Suppressed)
+	}
+	wantReasons := map[string]bool{
+		"inline directives cover their own line":    false,
+		"standalone directives cover the next line": false,
+	}
+	for _, s := range res.Suppressed {
+		if _, ok := wantReasons[s.Reason]; !ok {
+			t.Errorf("unexpected suppression reason %q", s.Reason)
+		}
+		wantReasons[s.Reason] = true
+	}
+	for r, seen := range wantReasons {
+		if !seen {
+			t.Errorf("no suppression with reason %q", r)
+		}
+	}
+
+	if res.Ok() {
+		t.Fatal("Check passed; want findings for the unsuppressed and malformed cases")
+	}
+	var got []string
+	for _, f := range res.Findings {
+		got = append(got, f.Analyzer+": "+f.Message)
+	}
+	wantSubstrings := []string{
+		"dummy: function BadUnsuppressed is bad",
+		"moonvet: malformed directive: missing reason",
+		// The reasonless directive does not suppress, so its finding
+		// survives too.
+		"dummy: function BadMissingReason is bad",
+		`moonvet: directive names unknown analyzer "nosuch"`,
+		"dummy: function BadUnknownAnalyzer is bad",
+		"moonvet: directive suppresses nothing",
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding containing %q in:\n%s", want, strings.Join(got, "\n"))
+		}
+	}
+	if len(res.Findings) != len(wantSubstrings) {
+		t.Errorf("got %d findings, want %d:\n%s", len(res.Findings), len(wantSubstrings), strings.Join(got, "\n"))
+	}
+}
+
+// TestMissingReasonFails pins the satellite requirement on its own: a
+// //moonvet:allow with no reason must fail the run even though the
+// directive names the right analyzer on the right line.
+func TestMissingReasonFails(t *testing.T) {
+	res, err := analysis.Check(loadAllowFixture(t), []*analysis.Analyzer{dummy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundMalformed := false
+	foundSurviving := false
+	for _, f := range res.Findings {
+		if f.Analyzer == "moonvet" && strings.Contains(f.Message, "missing reason") {
+			foundMalformed = true
+		}
+		if f.Analyzer == "dummy" && strings.Contains(f.Message, "BadMissingReason") {
+			foundSurviving = true
+		}
+	}
+	if !foundMalformed {
+		t.Error("reasonless directive was not reported as malformed")
+	}
+	if !foundSurviving {
+		t.Error("reasonless directive still suppressed its finding")
+	}
+}
+
+// TestRunWithoutDirectives checks the raw Run path used by
+// analysistest: suppressions are not applied there.
+func TestRunWithoutDirectives(t *testing.T) {
+	findings, err := analysis.Run(loadAllowFixture(t), []*analysis.Analyzer{dummy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 5 {
+		t.Errorf("Run returned %d findings, want all 5 Bad* functions: %+v", len(findings), findings)
+	}
+}

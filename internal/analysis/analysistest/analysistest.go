@@ -1,0 +1,136 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only.
+//
+// Fixtures live under <testdata>/src/<importpath>/. A line that should
+// be flagged carries a trailing comment of the form
+//
+//	code() // want "regexp" "second regexp"
+//
+// with one quoted or backquoted regexp per expected diagnostic on that
+// line. The test fails on any unmatched expectation and on any
+// unexpected diagnostic, so fixtures pin both the flagged and the
+// allowed patterns.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// expectation is one // want regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run loads the fixture tree at testdata/src, runs the analyzer over
+// the packages with the given import paths, and reports mismatches
+// between diagnostics and // want comments through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := analysis.LoadTree(filepath.Join(testdata, "src"), "")
+	if err != nil {
+		t.Fatalf("loading %s: %v", testdata, err)
+	}
+	byPath := make(map[string]*analysis.Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	var selected []*analysis.Package
+	for _, path := range paths {
+		p := byPath[path]
+		if p == nil {
+			t.Fatalf("fixture package %q not found under %s/src", path, testdata)
+		}
+		selected = append(selected, p)
+	}
+
+	findings, err := analysis.Run(selected, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, p := range selected {
+		for _, f := range p.Files {
+			ws, err := fileExpectations(p.Fset, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != f.Position.Filename || w.line != f.Position.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// fileExpectations parses the // want comments of one file.
+func fileExpectations(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			specs := wantRE.FindAllString(text, -1)
+			if len(specs) == 0 {
+				return nil, fmt.Errorf("%s: want comment with no quoted regexp", pos)
+			}
+			for _, spec := range specs {
+				var pat string
+				if strings.HasPrefix(spec, "`") {
+					pat = strings.Trim(spec, "`")
+				} else {
+					var err error
+					pat, err = strconv.Unquote(spec)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %v", pos, spec, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,17 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detrange"
+)
+
+// TestDetRange pins both halves of the analyzer: the order-sensitive
+// map-range bodies (appends, float/string accumulation, early returns of
+// loop variables, output and scheduling calls) and the deterministic
+// idioms that must stay unflagged (sorted-keys, group-by-key, integer
+// counting, map-to-map writes, membership tests, loop-local slices).
+func TestDetRange(t *testing.T) {
+	analysistest.Run(t, "testdata", detrange.Analyzer, "a")
+}

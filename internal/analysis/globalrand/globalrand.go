@@ -1,0 +1,61 @@
+// Package globalrand forbids math/rand everywhere in the module.
+//
+// The repo's determinism story needs randomness that is bit-stable
+// across Go versions and splittable across subsystems; internal/rng
+// (xoshiro256** seeded via splitmix64) provides exactly that. math/rand
+// gives neither: its top-level functions share hidden global state that
+// Go seeds randomly since 1.20, math/rand/v2 is always randomly seeded,
+// and even explicitly-seeded v1 sources are documented as free to change
+// their sequences between releases. Any import of math/rand or
+// math/rand/v2 is therefore flagged, with an extra diagnostic on each
+// use of a package-level function (the global, unseeded state).
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the globalrand analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid math/rand and math/rand/v2 (global state, randomly seeded, sequences unstable " +
+		"across Go releases); use the deterministic splittable internal/rng instead",
+	Run: run,
+}
+
+func randPath(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && randPath(p) {
+				pass.Reportf(imp.Pos(), "import of %s (use internal/rng: deterministic, splittable, stable across Go versions)", p)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || !randPath(obj.Pkg().Path()) {
+				return true
+			}
+			// Package-level functions are the global (unseeded or
+			// shared-state) surface; methods on an explicit *rand.Rand
+			// are already covered by the import diagnostic.
+			if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil {
+				pass.Reportf(sel.Pos(), "global %s.%s draws from shared hidden state (use internal/rng and thread a *rng.Rand)",
+					obj.Pkg().Name(), obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

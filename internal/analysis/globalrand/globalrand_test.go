@@ -1,0 +1,19 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/globalrand"
+)
+
+// TestV1 pins the math/rand surface: the import and every package-level
+// function use are flagged; explicit threaded generator state is not.
+func TestV1(t *testing.T) {
+	analysistest.Run(t, "testdata", globalrand.Analyzer, "a")
+}
+
+// TestV2 pins math/rand/v2, which is always randomly seeded.
+func TestV2(t *testing.T) {
+	analysistest.Run(t, "testdata", globalrand.Analyzer, "b")
+}

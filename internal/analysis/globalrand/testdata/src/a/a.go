@@ -1,0 +1,31 @@
+// Package a is the globalrand fixture: any touch of math/rand is
+// flagged (the import, plus each package-level function use), while
+// project-style explicit generator state is not.
+package a
+
+import "math/rand" // want `import of math/rand`
+
+func bad() int {
+	n := rand.Intn(10)       // want `global rand.Intn draws from shared hidden state`
+	rand.Seed(42)            // want `global rand.Seed draws from shared hidden state`
+	f := rand.Float64()      // want `global rand.Float64 draws from shared hidden state`
+	src := rand.NewSource(1) // want `global rand.NewSource draws from shared hidden state`
+	r := rand.New(src)       // want `global rand.New draws from shared hidden state`
+	return n + int(f) + r.Intn(3)
+}
+
+// xorshift is the kind of explicit, threaded generator state the repo's
+// internal/rng provides; nothing here may be flagged.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	*x ^= *x << 13
+	*x ^= *x >> 7
+	*x ^= *x << 17
+	return uint64(*x)
+}
+
+func good() uint64 {
+	s := xorshift(1)
+	return s.next()
+}

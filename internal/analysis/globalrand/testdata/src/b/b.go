@@ -1,0 +1,9 @@
+// Package b pins the math/rand/v2 half of the globalrand surface: v2 is
+// always randomly seeded, so the import itself is the violation.
+package b
+
+import "math/rand/v2" // want `import of math/rand/v2`
+
+func bad() int {
+	return rand.IntN(10) // want `global rand.IntN draws from shared hidden state`
+}

@@ -1,0 +1,182 @@
+// Package lockatomic guards the live engine's concurrency invariants:
+// no lock-bearing values through channels, no mixed atomic/plain access
+// to the same field.
+//
+// The engine's master↔worker plumbing is message-passing over channels,
+// and its JobStatus snapshots are published through atomic.Pointer and
+// read lock-free by the HTTP service. Both patterns have a silent
+// failure mode the race detector only catches if a test happens to
+// interleave just right: sending a struct that embeds a sync.Mutex (or
+// any sync/atomic value) copies the lock, decoupling sender and
+// receiver; and reading a field directly when some other code path
+// accesses it through sync/atomic functions is a data race even when
+// every write is atomic. This analyzer flags both statically:
+//
+//   - any channel element type, or sent value, whose type transitively
+//     contains a sync or sync/atomic value by value (pointers are fine);
+//   - any plain selector access to a field that is elsewhere in the same
+//     package passed by address to a sync/atomic function.
+package lockatomic
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockatomic analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockatomic",
+	Doc: "flag locks copied through channel payloads and non-atomic access to fields elsewhere " +
+		"accessed via sync/atomic (the lock-free snapshot pattern only works when every access " +
+		"agrees on atomicity)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkChannels(pass)
+	checkMixedAtomics(pass)
+	return nil
+}
+
+// --- rule 1: locks through channels ---
+
+func checkChannels(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ChanType:
+				if t := pass.TypesInfo.TypeOf(s.Value); t != nil {
+					if path := lockPath(t, nil); path != "" {
+						pass.Reportf(s.Pos(),
+							"channel element type carries %s by value: sends copy the lock, decoupling sender and receiver (pass a pointer)",
+							path)
+					}
+				}
+			case *ast.SendStmt:
+				if t := pass.TypesInfo.TypeOf(s.Value); t != nil {
+					if path := lockPath(t, nil); path != "" {
+						pass.Reportf(s.Pos(),
+							"send copies %s by value through a channel (pass a pointer)", path)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// lockPath returns a human-readable path to a by-value sync or
+// sync/atomic component of t ("" when t carries none). Pointers,
+// slices, maps, channels and interfaces stop the walk: sharing by
+// reference is exactly the correct way to move a lock.
+func lockPath(t types.Type, seen []types.Type) string {
+	for _, s := range seen {
+		if s == t {
+			return ""
+		}
+	}
+	seen = append(seen, t)
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj != nil && obj.Pkg() != nil {
+			p := obj.Pkg().Path()
+			if p == "sync" || p == "sync/atomic" {
+				if _, isIface := u.Underlying().(*types.Interface); !isIface {
+					return p + "." + obj.Name()
+				}
+				return ""
+			}
+		}
+		return lockPath(u.Underlying(), seen)
+	case *types.Alias:
+		return lockPath(types.Unalias(t), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if sub := lockPath(f.Type(), seen); sub != "" {
+				return sub
+			}
+		}
+	case *types.Array:
+		return lockPath(u.Elem(), seen)
+	}
+	return ""
+}
+
+// --- rule 2: mixed atomic and plain field access ---
+
+func checkMixedAtomics(pass *analysis.Pass) {
+	atomicFields := make(map[types.Object]bool)
+	atomicUses := make(map[token.Pos]bool)
+
+	// Pass 1: find fields passed by address to sync/atomic functions
+	// anywhere in the package.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := fieldObject(pass, sel); obj != nil {
+					atomicFields[obj] = true
+					atomicUses[sel.Sel.Pos()] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: every other touch of those fields must also be atomic.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUses[sel.Sel.Pos()] {
+				return true
+			}
+			obj := fieldObject(pass, sel)
+			if obj != nil && atomicFields[obj] {
+				pass.Reportf(sel.Pos(),
+					"non-atomic access to field %s, which is accessed via sync/atomic elsewhere in this package (a race even if every write is atomic)",
+					obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// fieldObject resolves sel to the struct field it selects, or nil when
+// sel is not a field selection (package-qualified names, methods).
+func fieldObject(pass *analysis.Pass, sel *ast.SelectorExpr) types.Object {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package lockatomic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockatomic"
+)
+
+// TestLockAtomic pins both rules: lock-bearing channel payloads (element
+// types and sends, transitively through structs and arrays) and mixed
+// atomic/plain access to one field, with the pointer-payload and
+// typed-atomic idioms staying unflagged.
+func TestLockAtomic(t *testing.T) {
+	analysistest.Run(t, "testdata", lockatomic.Analyzer, "a")
+}

@@ -1,0 +1,70 @@
+// Package a is the lockatomic fixture: locks moving through channels by
+// value and mixed atomic/plain field access are flagged; pointer
+// payloads and consistently-atomic fields are not.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// guarded embeds a mutex by value, so channel payloads of it copy the
+// lock.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// wrapped embeds guarded a level down; the walk is transitive.
+type wrapped struct {
+	inner guarded
+}
+
+func badChannels(g guarded) {
+	ch := make(chan guarded, 1) // want `channel element type carries sync.Mutex by value`
+	ch <- g                     // want `send copies sync.Mutex by value`
+
+	var deep chan [2]wrapped // want `channel element type carries sync.Mutex by value`
+	_ = deep
+}
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+func badMixed(c *counters) int64 {
+	atomic.AddInt64(&c.hits, 1)
+	return c.hits // want `non-atomic access to field hits`
+}
+
+// --- allowed patterns ---
+
+// goodChannels shares the lock by pointer: the correct idiom.
+func goodChannels(g *guarded) {
+	ch := make(chan *guarded, 1)
+	ch <- g
+	done := make(chan struct{})
+	close(done)
+}
+
+// goodAtomic touches hits atomically everywhere and total plainly
+// everywhere; neither mixes, so neither is flagged.
+func goodAtomic(c *counters) int64 {
+	atomic.AddInt64(&c.hits, 1)
+	c.total++
+	return atomic.LoadInt64(&c.hits) + c.total
+}
+
+// typedAtomics cannot be misread — the typed API forces atomic access —
+// and moving them by pointer is fine.
+type status struct {
+	snap atomic.Pointer[counters]
+}
+
+func goodTyped(s *status) *counters {
+	s.snap.Store(&counters{})
+	ch := make(chan *status, 1)
+	ch <- s
+	return s.snap.Load()
+}

@@ -1,0 +1,9 @@
+// Command tool violates globalrand so the driver tests prove cmd/
+// trees are swept like everything else.
+package main
+
+import "math/rand"
+
+func main() {
+	_ = rand.Intn(6)
+}

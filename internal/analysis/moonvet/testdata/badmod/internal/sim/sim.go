@@ -1,0 +1,25 @@
+// Package sim violates the wallclock invariant (it is named like a
+// deterministic package) and shows a correctly suppressed detrange
+// finding; the moonvet driver tests assert on both.
+package sim
+
+import (
+	"time"
+
+	"badmod/internal/util"
+)
+
+// Tick reads the wall clock in a deterministic package: flagged.
+func Tick() time.Time {
+	return time.Now()
+}
+
+// Keys collects map keys without sorting, excused with a reason.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//moonvet:allow detrange fixture exercises a documented suppression
+		keys = append(keys, k)
+	}
+	return util.Identity(keys)
+}

@@ -1,0 +1,6 @@
+// Package util is clean: it exists so the fixture module exercises
+// module-local imports and a zero-finding package for pattern filtering.
+package util
+
+// Identity returns its argument.
+func Identity[T any](v T) T { return v }

@@ -1,0 +1,178 @@
+// Package nilmetrics enforces the nil-handle contract of the metrics
+// bus.
+//
+// internal/metrics promises that a nil Collector hands out nil
+// instrument handles and that every method on a nil handle is a no-op:
+// that single trick is why instrumented hot paths run bit-identically
+// and at 0 allocs/op with collection off — there are no "metrics
+// enabled" branches anywhere in model code. The contract is load-bearing
+// and trivially easy to break by adding one method without the guard, so
+// this analyzer requires every exported method on a handle type to
+// either open with a nil-receiver guard or consist solely of a
+// delegation to another method on the same receiver (which then owns the
+// guard). Value receivers are flagged outright: calling one on a nil
+// pointer dereferences it before the body can check anything.
+package nilmetrics
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// PackageSuffix selects the package held to the nil-handle contract.
+var PackageSuffix = "internal/metrics"
+
+// HandleTypes are the nil-safe handle types: a nil value of any of
+// these must be a valid "collection off" no-op.
+var HandleTypes = map[string]bool{
+	"Collector":  true,
+	"Counter":    true,
+	"Gauge":      true,
+	"Series":     true,
+	"Histogram":  true,
+	"StreamSink": true,
+}
+
+// Analyzer is the nilmetrics analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilmetrics",
+	Doc: "every exported method on internal/metrics handle types must begin with a nil-receiver " +
+		"guard (or delegate to a method that does); nil handles are the metrics-off fast path " +
+		"behind bit-identical, 0 allocs/op instrumented code",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if path != PackageSuffix && !strings.HasSuffix(path, "/"+PackageSuffix) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			tname, ptr := recvType(recv.Type)
+			if !HandleTypes[tname] {
+				continue
+			}
+			if !ptr {
+				pass.Reportf(fd.Pos(),
+					"method %s.%s has a value receiver: calling it on a nil *%s dereferences before any guard can run (use a pointer receiver)",
+					tname, fd.Name.Name, tname)
+				continue
+			}
+			if fd.Body == nil {
+				continue
+			}
+			recvName := ""
+			if len(recv.Names) == 1 {
+				recvName = recv.Names[0].Name
+			}
+			if recvName == "" || recvName == "_" {
+				pass.Reportf(fd.Pos(),
+					"method %s.%s discards its receiver so it cannot nil-guard (name the receiver and guard it)",
+					tname, fd.Name.Name)
+				continue
+			}
+			if beginsWithNilGuard(fd.Body, recvName) || delegatesToReceiver(fd.Body, recvName) {
+				continue
+			}
+			pass.Reportf(fd.Pos(),
+				"exported method %s.%s must begin with `if %s == nil { return ... }` (nil handles are the metrics-off no-op path)",
+				tname, fd.Name.Name, recvName)
+		}
+	}
+	return nil
+}
+
+// recvType unwraps a method receiver type to (type name, is-pointer).
+func recvType(e ast.Expr) (string, bool) {
+	ptr := false
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			ptr = true
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			e = t.X
+		case *ast.Ident:
+			return t.Name, ptr
+		default:
+			return "", ptr
+		}
+	}
+}
+
+// beginsWithNilGuard reports whether the body's first statement is
+// `if <recv> == nil { return ... }` (the guard's body must do nothing
+// but return).
+func beginsWithNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil || ifs.Else != nil {
+		return false
+	}
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	if !isNilCompare(cond.X, cond.Y, recvName) && !isNilCompare(cond.Y, cond.X, recvName) {
+		return false
+	}
+	if len(ifs.Body.List) != 1 {
+		return false
+	}
+	_, isReturn := ifs.Body.List[0].(*ast.ReturnStmt)
+	return isReturn
+}
+
+func isNilCompare(a, b ast.Expr, recvName string) bool {
+	id, ok := a.(*ast.Ident)
+	if !ok || id.Name != recvName {
+		return false
+	}
+	nb, ok := b.(*ast.Ident)
+	return ok && nb.Name == "nil"
+}
+
+// delegatesToReceiver reports whether the body is a single statement
+// whose sole action is calling another method on the receiver, e.g.
+// `func (c *Counter) Inc() { c.Add(1) }` — the callee then owns the nil
+// guard (and is itself checked if exported).
+func delegatesToReceiver(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	var call ast.Expr
+	switch s := body.List[0].(type) {
+	case *ast.ExprStmt:
+		call = s.X
+	case *ast.ReturnStmt:
+		if len(s.Results) != 1 {
+			return false
+		}
+		call = s.Results[0]
+	default:
+		return false
+	}
+	ce, ok := call.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ce.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == recvName
+}

@@ -1,0 +1,16 @@
+package nilmetrics_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nilmetrics"
+)
+
+// TestNilGuards pins the nil-handle contract: exported methods on
+// handle types must guard or delegate; value receivers and discarded
+// receivers are flagged; unexported methods and non-handle types are
+// unconstrained.
+func TestNilGuards(t *testing.T) {
+	analysistest.Run(t, "testdata", nilmetrics.Analyzer, "internal/metrics")
+}

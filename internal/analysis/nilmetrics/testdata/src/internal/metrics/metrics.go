@@ -1,0 +1,77 @@
+// Package metrics is the nilmetrics fixture: a miniature of the real
+// instrument-handle surface. Exported methods on handle types must
+// open with a nil-receiver guard or delegate to a method on the same
+// receiver; value receivers are flagged outright.
+package metrics
+
+// Counter mirrors the real handle type of the same name.
+type Counter struct {
+	total  float64
+	series *Series
+}
+
+// Add guards correctly: allowed.
+func (c *Counter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	c.total += v
+}
+
+// Inc delegates to Add, which owns the guard: allowed.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value guards with the operands swapped: allowed.
+func (c *Counter) Value() float64 {
+	if nil == c {
+		return 0
+	}
+	return c.total
+}
+
+// Total is missing the guard: flagged.
+func (c *Counter) Total() float64 { // want `exported method Counter.Total must begin with`
+	return c.total
+}
+
+// Reset guards too late — the receiver is dereferenced first: flagged.
+func (c *Counter) Reset() { // want `exported method Counter.Reset must begin with`
+	c.total = 0
+	if c == nil {
+		return
+	}
+}
+
+// unexportedPeek has no guard but is unexported: the contract binds the
+// exported surface, so this is allowed.
+func (c *Counter) unexportedPeek() float64 {
+	return c.total
+}
+
+// Gauge mirrors the real handle type of the same name.
+type Gauge struct {
+	v float64
+}
+
+// Snapshot has a value receiver: calling it on a nil *Gauge
+// dereferences before any guard could run, so it is flagged.
+func (g Gauge) Snapshot() float64 { // want `method Gauge.Snapshot has a value receiver`
+	return g.v
+}
+
+// Series mirrors the real handle type of the same name.
+type Series struct {
+	points []float64
+}
+
+// Observe discards its receiver, so it cannot guard: flagged.
+func (*Series) Observe(v float64) { // want `discards its receiver`
+	_ = v
+}
+
+// report is not a handle type: its methods are unconstrained.
+type report struct {
+	n int
+}
+
+func (r *report) Count() int { return r.n }

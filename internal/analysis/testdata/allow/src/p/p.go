@@ -1,0 +1,21 @@
+// Package p is the suppression-directive fixture for the framework
+// tests: the dummy analyzer flags every function whose name starts with
+// "Bad", and the directives below exercise every directive shape.
+package p
+
+func BadInline() {} //moonvet:allow dummy inline directives cover their own line
+
+//moonvet:allow dummy standalone directives cover the next line
+func BadStandalone() {}
+
+func BadUnsuppressed() {}
+
+func BadMissingReason() {} //moonvet:allow dummy
+
+//moonvet:allow nosuch this analyzer does not exist
+func BadUnknownAnalyzer() {}
+
+//moonvet:allow dummy this directive suppresses nothing
+func fine() {}
+
+func alsoFine() {}

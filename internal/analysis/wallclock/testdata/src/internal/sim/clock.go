@@ -1,0 +1,23 @@
+// Package sim is a wallclock fixture standing in for a deterministic
+// package: every wall-clock read must be flagged, pure time arithmetic
+// must not.
+package sim
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now()                     // want `time.Now in deterministic package`
+	time.Sleep(time.Millisecond)            // want `time.Sleep in deterministic package`
+	defer time.NewTimer(time.Second).Stop() // want `time.NewTimer in deterministic package`
+	<-time.After(time.Second)               // want `time.After in deterministic package`
+	return time.Since(start)                // want `time.Since in deterministic package`
+}
+
+// good exercises the deterministic parts of package time, which stay
+// allowed: conversions, constants and parsing do not read the clock.
+func good() time.Duration {
+	d, _ := time.ParseDuration("3s")
+	u := time.Unix(0, 0)
+	_ = u
+	return d + 2*time.Second
+}

@@ -1,0 +1,96 @@
+// Package wallclock forbids reading the wall clock in the deterministic
+// half of the codebase.
+//
+// Every golden test, scenario hash and metrics-off bit-identity claim in
+// this repo assumes that a simulation's output is a pure function of its
+// inputs and seeds. One stray time.Now in the simulator, the network
+// model, the schedulers or the metrics snapshot path silently breaks all
+// of them. The live engine, the transport fabric, the HTTP service and
+// the harness's live half legitimately live on real time and are not
+// swept.
+package wallclock
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// DeterministicPaths lists the import-path suffixes of packages whose
+// output must be a pure function of inputs and seeds. A package is swept
+// when its path equals, or ends with "/" + one of these entries.
+var DeterministicPaths = []string{
+	"internal/sim",
+	"internal/netmodel",
+	"internal/dfs",
+	"internal/mapred",
+	"internal/cluster",
+	"internal/core",
+	"internal/sched",
+	"internal/scenario",
+	"internal/metrics",
+	"internal/trace",
+	"internal/workload",
+	"internal/rng",
+}
+
+// forbidden are the package-level time functions that read or wait on
+// the wall clock. Pure conversions and constructors (time.Duration,
+// time.Unix, time.Date, time.ParseDuration, ...) are deterministic and
+// stay allowed.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// Analyzer is the wallclock analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid wall-clock reads (time.Now/Since/Sleep/timers) in deterministic packages; " +
+		"simulation output must be a pure function of inputs and seeds",
+	Run: run,
+}
+
+// Deterministic reports whether the package at path is held to the
+// no-wall-clock invariant.
+func Deterministic(path string) bool {
+	for _, p := range DeterministicPaths {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !Deterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if forbidden[obj.Name()] {
+				pass.Reportf(sel.Pos(),
+					"time.%s in deterministic package %s (runs must be a pure function of inputs and seeds; use the simulation clock)",
+					obj.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wallclock"
+)
+
+// TestDeterministicPackage pins the flagged surface: every wall-clock
+// read in a deterministic package is a diagnostic, pure time arithmetic
+// is not.
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "internal/sim")
+}
+
+// TestLivePackageAllowed pins the allowlist: the live engine may read
+// the wall clock freely.
+func TestLivePackageAllowed(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "internal/engine")
+}
+
+func TestDeterministic(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/sim":      true,
+		"internal/sim":            true,
+		"repro/internal/engine":   false,
+		"repro/internal/simulate": false,
+		"repro/cmd/moonbench":     false,
+	} {
+		if got := wallclock.Deterministic(path); got != want {
+			t.Errorf("Deterministic(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

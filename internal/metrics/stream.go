@@ -102,11 +102,23 @@ func (s *StreamSink) Push(u Update) {
 
 // Updates is the consumer side. The channel is closed by Close once no
 // in-flight Push can still be delivering, so ranging over it is safe.
-func (s *StreamSink) Updates() <-chan Update { return s.ch }
+// A nil sink returns a nil channel (which never delivers), keeping the
+// whole handle surface nil-safe.
+func (s *StreamSink) Updates() <-chan Update {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
 
 // Dropped reports how many updates were discarded because the buffer was
-// full or the sink closed.
-func (s *StreamSink) Dropped() uint64 { return s.dropped.Load() }
+// full or the sink closed (0 for a nil sink).
+func (s *StreamSink) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
 
 // Close marks the sink closed (subsequent pushes drop) and closes the
 // Updates channel after any in-flight Push completes. Idempotent.

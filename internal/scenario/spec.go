@@ -530,30 +530,30 @@ func (l *LiveSpec) validate() error {
 	if l.VolatileWorkers < 0 || l.DedicatedWorkers < 0 {
 		return fmt.Errorf("live worker counts (%d volatile, %d dedicated)", l.VolatileWorkers, l.DedicatedWorkers)
 	}
-	for name, v := range map[string]float64{
-		"horizon_seconds": l.HorizonSeconds,
-		"compression_ms":  l.CompressionMS,
-		"timeout_seconds": l.TimeoutSeconds,
+	for _, f := range []namedFloat{
+		{"horizon_seconds", l.HorizonSeconds},
+		{"compression_ms", l.CompressionMS},
+		{"timeout_seconds", l.TimeoutSeconds},
 	} {
-		if v < 0 || math.IsNaN(v) {
-			return fmt.Errorf("live %s %v", name, v)
+		if f.v < 0 || math.IsNaN(f.v) {
+			return fmt.Errorf("live %s %v", f.name, f.v)
 		}
 	}
 	if l.SplitsPerJob < 0 || l.WordsPerSplit < 0 || l.ReducesPerJob < 0 {
 		return fmt.Errorf("live job sizing must be >= 0")
 	}
 	if lk := l.Link; lk != nil {
-		for name, v := range map[string]float64{
-			"connect_timeout_ms":    lk.ConnectTimeoutMS,
-			"send_timeout_ms":       lk.SendTimeoutMS,
-			"recv_timeout_ms":       lk.RecvTimeoutMS,
-			"heartbeat_interval_ms": lk.HeartbeatIntervalMS,
-			"lease_duration_ms":     lk.LeaseDurationMS,
-			"retry_backoff_ms":      lk.RetryBackoffMS,
-			"session_expiry_ms":     lk.SessionExpiryMS,
+		for _, f := range []namedFloat{
+			{"connect_timeout_ms", lk.ConnectTimeoutMS},
+			{"send_timeout_ms", lk.SendTimeoutMS},
+			{"recv_timeout_ms", lk.RecvTimeoutMS},
+			{"heartbeat_interval_ms", lk.HeartbeatIntervalMS},
+			{"lease_duration_ms", lk.LeaseDurationMS},
+			{"retry_backoff_ms", lk.RetryBackoffMS},
+			{"session_expiry_ms", lk.SessionExpiryMS},
 		} {
-			if v < 0 || math.IsNaN(v) {
-				return fmt.Errorf("live link %s %v (want >= 0)", name, v)
+			if f.v < 0 || math.IsNaN(f.v) {
+				return fmt.Errorf("live link %s %v (want >= 0)", f.name, f.v)
 			}
 		}
 		if lk.MaxRetries < 0 {
@@ -818,15 +818,15 @@ func (v *VariantSpec) validate(multi bool) error {
 	}
 	if v.Sched != nil {
 		s := v.Sched
-		for name, p := range map[string]*float64{
-			"tracker_expiry_seconds":      s.TrackerExpirySeconds,
-			"heartbeat_interval_seconds":  s.HeartbeatIntervalSeconds,
-			"suspension_interval_seconds": s.SuspensionIntervalSeconds,
-			"spec_slot_fraction":          s.SpecSlotFraction,
-			"homestretch_h":               s.HomestretchH,
+		for _, f := range []namedFloatPtr{
+			{"tracker_expiry_seconds", s.TrackerExpirySeconds},
+			{"heartbeat_interval_seconds", s.HeartbeatIntervalSeconds},
+			{"suspension_interval_seconds", s.SuspensionIntervalSeconds},
+			{"spec_slot_fraction", s.SpecSlotFraction},
+			{"homestretch_h", s.HomestretchH},
 		} {
-			if p != nil && (*p < 0 || math.IsNaN(*p)) {
-				return fmt.Errorf("sched %s %v", name, *p)
+			if f.p != nil && (*f.p < 0 || math.IsNaN(*f.p)) {
+				return fmt.Errorf("sched %s %v", f.name, *f.p)
 			}
 		}
 		if s.SpeculativeCap != nil && *s.SpeculativeCap < 0 {
@@ -848,13 +848,13 @@ func (v *VariantSpec) validate(multi bool) error {
 	}
 	if v.Net != nil {
 		n := v.Net
-		for name, p := range map[string]*float64{
-			"node_bandwidth_bytes":  n.NodeBandwidthBytes,
-			"disk_bandwidth_bytes":  n.DiskBandwidthBytes,
-			"stall_timeout_seconds": n.StallTimeoutSeconds,
+		for _, f := range []namedFloatPtr{
+			{"node_bandwidth_bytes", n.NodeBandwidthBytes},
+			{"disk_bandwidth_bytes", n.DiskBandwidthBytes},
+			{"stall_timeout_seconds", n.StallTimeoutSeconds},
 		} {
-			if p != nil && (*p <= 0 || math.IsNaN(*p)) {
-				return fmt.Errorf("net %s %v (want > 0)", name, *p)
+			if f.p != nil && (*f.p <= 0 || math.IsNaN(*f.p)) {
+				return fmt.Errorf("net %s %v (want > 0)", f.name, *f.p)
 			}
 		}
 	}
@@ -920,12 +920,32 @@ func validateArrivals(process string, interval, lambda float64) error {
 }
 
 func validateWeights(w map[string]float64) error {
-	for name, wt := range w {
-		if wt <= 0 || math.IsNaN(wt) {
+	// Sorted keys so the reported weight is deterministic when several
+	// are invalid (detrange-pinned).
+	names := make([]string, 0, len(w))
+	for name := range w {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	for _, name := range names {
+		if wt := w[name]; wt <= 0 || math.IsNaN(wt) {
 			return fmt.Errorf("weight %v for job %q (want > 0)", wt, name)
 		}
 	}
 	return nil
+}
+
+// namedFloat and namedFloatPtr order the field tables the validators
+// iterate: ranging a map literal here would make which invalid field
+// gets reported depend on randomized map order.
+type namedFloat struct {
+	name string
+	v    float64
+}
+
+type namedFloatPtr struct {
+	name string
+	p    *float64
 }
 
 // joinOr renders a vocabulary list for error messages: "a, b or c".

@@ -185,6 +185,7 @@ func (r *registry) idle() bool {
 	r.mu.Lock()
 	subs := make([]*submission, 0, len(r.subs))
 	for _, b := range r.subs {
+		//moonvet:allow detrange order-insensitive: idle() reduces the collected set with AND, so collection order is unobservable
 		subs = append(subs, b)
 	}
 	r.mu.Unlock()

@@ -46,12 +46,17 @@ type FaultConfig struct {
 
 // Validate rejects out-of-range rates and malformed windows.
 func (f FaultConfig) Validate() error {
-	for name, r := range map[string]float64{
-		"DropRate": f.DropRate, "DupRate": f.DupRate,
-		"DelayRate": f.DelayRate, "ResetRate": f.ResetRate,
+	// Ordered so the reported rate is deterministic when several are
+	// invalid (detrange-pinned).
+	for _, p := range []struct {
+		name string
+		r    float64
+	}{
+		{"DropRate", f.DropRate}, {"DupRate", f.DupRate},
+		{"DelayRate", f.DelayRate}, {"ResetRate", f.ResetRate},
 	} {
-		if r < 0 || r > 1 || math.IsNaN(r) {
-			return fmt.Errorf("transport: %s %v outside [0, 1]", name, r)
+		if p.r < 0 || p.r > 1 || math.IsNaN(p.r) {
+			return fmt.Errorf("transport: %s %v outside [0, 1]", p.name, p.r)
 		}
 	}
 	if f.Delay < 0 {

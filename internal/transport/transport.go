@@ -136,16 +136,21 @@ func DefaultLinkConfig() LinkConfig {
 // before its next refresh, and a session expiry shorter than the lease
 // would evict workers the lease still trusts.
 func (l LinkConfig) Validate() error {
-	for name, d := range map[string]time.Duration{
-		"ConnectTimeout":    l.ConnectTimeout,
-		"SendTimeout":       l.SendTimeout,
-		"RecvTimeout":       l.RecvTimeout,
-		"HeartbeatInterval": l.HeartbeatInterval,
-		"LeaseDuration":     l.LeaseDuration,
-		"RetryBackoff":      l.RetryBackoff,
+	// Ordered so the reported knob is deterministic when several are
+	// invalid (detrange-pinned).
+	for _, p := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"ConnectTimeout", l.ConnectTimeout},
+		{"SendTimeout", l.SendTimeout},
+		{"RecvTimeout", l.RecvTimeout},
+		{"HeartbeatInterval", l.HeartbeatInterval},
+		{"LeaseDuration", l.LeaseDuration},
+		{"RetryBackoff", l.RetryBackoff},
 	} {
-		if d <= 0 {
-			return fmt.Errorf("transport: %s must be positive (got %v)", name, d)
+		if p.d <= 0 {
+			return fmt.Errorf("transport: %s must be positive (got %v)", p.name, p.d)
 		}
 	}
 	if l.MaxRetries < 0 {
