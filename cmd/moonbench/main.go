@@ -20,11 +20,12 @@
 // scenario.Spec: flags assemble a spec, -scenario loads one, and both
 // compile through the same path, so a flag run is byte-identical to the
 // equivalent scenario file. With -scenario, the sweep-axis flags (-seeds,
-// -rates, -scale, -parallel, -metrics-bucket) override the spec when set
-// explicitly; the experiment-shaping flags (-experiment, -app, -policy,
-// ...) are rejected. -metrics writes a schema-versioned cross-layer run
-// report (JSON plus a .timeline.csv dump) stamped with the scenario name
-// and spec hash.
+// -rates, -scale, -parallel, -shard-workers, -metrics-bucket) override
+// the spec when set explicitly; the experiment-shaping flags
+// (-experiment, -app, -policy, ...) are rejected. -metrics writes a
+// schema-versioned cross-layer run report (JSON plus a .timeline.csv
+// dump) stamped with the scenario name and spec hash. -cpuprofile and
+// -memprofile write pprof profiles of the whole sweep.
 package main
 
 import (
@@ -32,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -62,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		rates      = fs.String("rates", "0.1,0.3,0.5", "comma-separated unavailability rates")
 		ablation   = fs.String("ablation", "homestretch", strings.Join(harness.AblationNames, "|"))
 		parallel   = fs.Int("parallel", 0, "simulations to run concurrently (0 = all cores, 1 = serial)")
+		shardW     = fs.Int("shard-workers", 1, "intra-run shard workers per simulation (0 = all cores, 1 = serial; every value is byte-identical)")
 		policy     = fs.String("policy", "both", "multi-job slot arbitration: fifo|fair|weighted|priority|both")
 		jobs       = fs.Int("jobs", 3, "multi-job experiment: jobs per run")
 		stagger    = fs.Float64("stagger", 60, "multi-job staggered arrivals: seconds between submissions")
@@ -74,6 +78,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		list       = fs.Bool("list", false, "print the valid experiments, apps, ablations, policies and arrival processes, then exit")
 		metricsOut = fs.String("metrics", "", "write a cross-layer metrics report to this JSON file (plus a .timeline.csv next to it)")
 		metricsBkt = fs.Float64("metrics-bucket", metrics.DefaultBucket, "metrics series bucket width, seconds")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 		verbose    = fs.Bool("v", false, "print one line per run")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -124,6 +130,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if explicit["parallel"] {
 			spec.Sweep.Parallelism = *parallel
 		}
+		if explicit["shard-workers"] {
+			spec.Sweep.ShardWorkers = *shardW
+		}
 		if explicit["metrics-bucket"] {
 			spec.Metrics.BucketSeconds = *metricsBkt
 		}
@@ -154,6 +163,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Lambda:        *lambda,
 			ArrivalSeed:   *arrSeed,
 			MetricsBucket: *metricsBkt,
+			ShardWorkers:  *shardW,
 		}
 		var err error
 		if f.Seeds, err = parseSeeds(*seeds); err != nil {
@@ -193,6 +203,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		plan.Config.Progress = func(line string) { fmt.Fprintln(stderr, line) }
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var report *metrics.Export
 	if *metricsOut != "" {
 		report = metrics.NewExport("moonbench")
@@ -201,6 +223,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if err := plan.Execute(stdout, report); err != nil {
 		return err
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle retained heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	if report != nil {
 		if err := writeReport(report, *metricsOut); err != nil {

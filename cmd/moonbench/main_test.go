@@ -81,6 +81,32 @@ func TestScenarioFileMatchesFlagRun(t *testing.T) {
 	}
 }
 
+// TestRunProfileFlags drives a real (scaled-down) sweep with both pprof
+// flags — and a non-default shard pool — and checks the profiles land on
+// disk, mirroring moonsim's profiling surface.
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	out := runCLI(t,
+		"-experiment", "fig4", "-app", "sort", "-scale", "32",
+		"-seeds", "1", "-rates", "0.5", "-shard-workers", "2",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	)
+	if !strings.Contains(out, "Fig 4/5") {
+		t.Errorf("missing sweep output, got:\n%s", out)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
 // TestLiveScenarioEndToEnd drives the live goroutine engine from a
 // moon-scenario/v1 file with "execution": "live": ≥3 concurrently
 // submitted jobs per cell complete under trace-compressed churn across

@@ -19,6 +19,7 @@ import (
 	"repro/internal/analysis/globalrand"
 	"repro/internal/analysis/lockatomic"
 	"repro/internal/analysis/nilmetrics"
+	"repro/internal/analysis/shardsafe"
 	"repro/internal/analysis/wallclock"
 )
 
@@ -30,6 +31,7 @@ func Suite() []*analysis.Analyzer {
 		detrange.Analyzer,
 		nilmetrics.Analyzer,
 		lockatomic.Analyzer,
+		shardsafe.Analyzer,
 	}
 }
 

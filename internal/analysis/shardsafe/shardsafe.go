@@ -1,0 +1,302 @@
+// Package shardsafe flags shared-state mutation inside parallel-phase
+// callbacks.
+//
+// A shard-pool phase (sim.ShardPool.Run / SumInt and anything with the
+// same shape) is a pure "map" step: the callback may read any frozen
+// model state but must write only per-index result slots and the arena
+// of the worker running it, with all shared-state mutation applied
+// serially by the caller after the phase returns. That contract is what
+// makes every worker count byte-identical — and it is invisible to the
+// race detector when the violation is merely order-sensitive rather
+// than racy (two workers scheduling events consume (at, seq) numbers in
+// nondeterministic order without ever touching the same word).
+//
+// The analyzer finds function literals passed as the trailing argument
+// of a .Run(n, fn) call taking func(worker, lo, hi int) — or a
+// .SumInt(n, fn) taking func(lo, hi int) — and reports, inside the
+// literal:
+//
+//   - calls whose invocation order is observable (event scheduling,
+//     queue mutation, metric observation, RNG stream splitting, output);
+//   - writes to variables declared outside the literal unless the
+//     written lvalue is indexed by a variable bound inside it (the
+//     per-index slot / per-worker arena idioms, out[i] = v and
+//     partials[worker].V += x);
+//   - append to an outside slice (growth order is scheduling order).
+//
+// Locals declared inside the literal are free; so is anything indexed
+// by the span or worker variables, which is exactly the state the merge
+// step folds in deterministic order afterwards.
+package shardsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the shardsafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardsafe",
+	Doc: "flag order-sensitive mutation inside shard-pool phase callbacks (event scheduling, " +
+		"metric observation, un-indexed writes to captured state); phases must write only " +
+		"per-index slots and per-worker arenas, merging serially after Run returns",
+	Run: run,
+}
+
+// phaseMethods maps the pool's fan-out method names to the number of
+// int parameters their callback takes: Run(n, func(worker, lo, hi
+// int)), SumInt(n, func(lo, hi int) int). Matching on shape rather than
+// on the concrete *sim.ShardPool type keeps the analyzer working on any
+// Runner-shaped pool (internal/trace's interface included).
+var phaseMethods = map[string]int{
+	"Run":    3,
+	"SumInt": 2,
+}
+
+// orderSensitiveCalls are callee names whose invocation order is
+// observable even when every call is individually race-free: event
+// scheduling consumes (at, seq) numbers, queues and metrics record
+// arrival order, RNG splits consume stream draws, output interleaves.
+var orderSensitiveCalls = map[string]bool{
+	"Schedule":    true,
+	"ScheduleAt":  true,
+	"After":       true,
+	"Submit":      true,
+	"Enqueue":     true,
+	"Push":        true,
+	"Observe":     true,
+	"Add":         true,
+	"Inc":         true,
+	"IncAt":       true,
+	"Split":       true,
+	"Print":       true,
+	"Printf":      true,
+	"Println":     true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			want, ok := phaseMethods[sel.Sel.Name]
+			if !ok {
+				return true
+			}
+			lit, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+			if !ok || !hasIntParams(pass, lit, want) {
+				return true
+			}
+			checkPhase(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// hasIntParams reports whether the literal's parameters are exactly
+// `want` ints — the span-callback shape.
+func hasIntParams(pass *analysis.Pass, lit *ast.FuncLit, want int) bool {
+	n := 0
+	for _, field := range lit.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		if !ok || b.Kind() != types.Int {
+			return false
+		}
+		names := len(field.Names)
+		if names == 0 {
+			names = 1
+		}
+		n += names
+	}
+	return n == want
+}
+
+func checkPhase(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal runs on the same worker; its body is
+			// bound by the same contract, so keep descending.
+			return true
+		case *ast.CallExpr:
+			if name := calleeName(s); orderSensitiveCalls[name] {
+				pass.Reportf(s.Pos(),
+					"%s called inside a parallel phase callback: invocation order depends on worker interleaving (apply results serially after Run returns)",
+					name)
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, lit, s)
+		case *ast.IncDecStmt:
+			if escapesPhase(pass, lit, s.X) {
+				pass.Reportf(s.Pos(),
+					"%s of shared %s inside a parallel phase callback (write per-index slots or a per-worker arena instead)",
+					incDecName(s.Tok), exprName(s.X))
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags writes that leave the phase's private state: any
+// assignment whose target is declared outside the literal and is not
+// indexed by a variable bound inside it.
+func checkAssign(pass *analysis.Pass, lit *ast.FuncLit, s *ast.AssignStmt) {
+	if s.Tok == token.DEFINE {
+		return // new locals are phase-private by construction
+	}
+	for i, lhs := range s.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		if !escapesPhase(pass, lit, lhs) {
+			continue
+		}
+		// append to captured state is the clearest order dependence:
+		// element order is worker-scheduling order.
+		if i < len(s.Rhs) {
+			if call, ok := s.Rhs[i].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+				pass.Reportf(s.Pos(),
+					"append to shared %s inside a parallel phase callback: element order depends on worker interleaving",
+					exprName(lhs))
+				continue
+			}
+		}
+		if s.Tok == token.ASSIGN {
+			pass.Reportf(s.Pos(),
+				"write to shared %s inside a parallel phase callback is not index-scoped (write per-index slots or a per-worker arena instead)",
+				exprName(lhs))
+		} else {
+			pass.Reportf(s.Pos(),
+				"compound assignment to shared %s inside a parallel phase callback (fold per-worker partials serially after Run returns)",
+				exprName(lhs))
+		}
+	}
+}
+
+// escapesPhase reports whether writing expr mutates state shared across
+// workers: its root variable is declared outside the literal and no
+// index in the access path is bound inside the literal (an inner-bound
+// index — the span variable or the worker id — scopes the write to a
+// private slot).
+func escapesPhase(pass *analysis.Pass, lit *ast.FuncLit, expr ast.Expr) bool {
+	id := rootIdent(expr)
+	if id == nil {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil || declaredInside(lit, obj) {
+		return false
+	}
+	return !indexedByInner(pass, lit, expr)
+}
+
+// declaredInside reports whether obj's declaration lies within the
+// literal's span (parameters included).
+func declaredInside(lit *ast.FuncLit, obj types.Object) bool {
+	return obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()
+}
+
+// indexedByInner reports whether any index expression in the access
+// path uses a variable declared inside the literal.
+func indexedByInner(pass *analysis.Pass, lit *ast.FuncLit, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		ast.Inspect(ix.Index, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj != nil && declaredInside(lit, obj) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return !found
+	})
+	return found
+}
+
+// rootIdent unwraps selectors, indexes and parens to the base
+// identifier (x for x.f[i].g), or nil when the base is not an
+// identifier.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func incDecName(tok token.Token) string {
+	if tok == token.INC {
+		return "increment"
+	}
+	return "decrement"
+}
+
+func exprName(e ast.Expr) string {
+	if id := rootIdent(e); id != nil {
+		return id.Name
+	}
+	return "variable"
+}

@@ -1,0 +1,18 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/shardsafe"
+)
+
+// TestShardSafe pins both halves of the analyzer: order-sensitive
+// mutation inside phase callbacks (scheduling, metric observation, RNG
+// splits, shared accumulation/appends/writes) and the deterministic
+// idioms that must stay unflagged (per-index slots, per-worker arenas,
+// phase-local state, span reductions returning locals, non-phase Run
+// methods).
+func TestShardSafe(t *testing.T) {
+	analysistest.Run(t, "testdata", shardsafe.Analyzer, "a")
+}

@@ -1,0 +1,156 @@
+// Package a is the shardsafe fixture: order-sensitive mutation inside
+// shard-pool phase callbacks is flagged, the per-index-slot and
+// per-worker-arena idioms are not.
+package a
+
+// ShardPool mirrors the sim pool's fan-out shape; shardsafe matches on
+// the method name + callback signature, not the concrete type.
+type ShardPool struct{}
+
+func (p *ShardPool) Workers() int                              { return 1 }
+func (p *ShardPool) Run(n int, fn func(worker, lo, hi int))    { fn(0, 0, n) }
+func (p *ShardPool) SumInt(n int, fn func(lo, hi int) int) int { return fn(0, n) }
+
+type padded struct {
+	V int
+	_ [56]byte
+}
+
+type simulation struct{}
+
+func (s *simulation) Schedule(at float64, label string, fn func()) {}
+
+type series struct{}
+
+func (c *series) Observe(at, v float64) {}
+
+type stream struct{}
+
+func (r *stream) Split() *stream { return &stream{} }
+
+// --- flagged patterns ---
+
+func scheduleInPhase(p *ShardPool, s *simulation, n int) {
+	p.Run(n, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.Schedule(float64(i), "x", func() {}) // want `Schedule called inside a parallel phase callback`
+		}
+	})
+}
+
+func observeInPhase(p *ShardPool, c *series, n int) {
+	p.Run(n, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c.Observe(float64(i), 1) // want `Observe called inside a parallel phase callback`
+		}
+	})
+}
+
+func splitInPhase(p *ShardPool, r *stream, n int) {
+	p.Run(n, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			_ = r.Split() // want `Split called inside a parallel phase callback`
+		}
+	})
+}
+
+func floatAccumShared(p *ShardPool, n int) float64 {
+	total := 0.0
+	p.Run(n, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += float64(i) // want `compound assignment to shared total inside a parallel phase callback`
+		}
+	})
+	return total
+}
+
+func intAccumShared(p *ShardPool, n int) int {
+	count := 0
+	p.Run(n, func(worker, lo, hi int) {
+		count += hi - lo // want `compound assignment to shared count inside a parallel phase callback`
+	})
+	return count
+}
+
+func appendShared(p *ShardPool, n int) []int {
+	var hits []int
+	p.Run(n, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits = append(hits, i) // want `append to shared hits inside a parallel phase callback`
+		}
+	})
+	return hits
+}
+
+func plainWriteShared(p *ShardPool, n int) int {
+	last := 0
+	p.Run(n, func(worker, lo, hi int) {
+		last = hi // want `write to shared last inside a parallel phase callback is not index-scoped`
+	})
+	return last
+}
+
+type tally struct{ launched int }
+
+func fieldWriteShared(p *ShardPool, t *tally, n int) {
+	p.Run(n, func(worker, lo, hi int) {
+		t.launched++ // want `increment of shared t inside a parallel phase callback`
+	})
+}
+
+func sumIntSharedWrite(p *ShardPool, n int) int {
+	seen := 0
+	return p.SumInt(n, func(lo, hi int) int {
+		seen++ // want `increment of shared seen inside a parallel phase callback`
+		return hi - lo
+	})
+}
+
+// --- allowed idioms ---
+
+func perIndexSlots(p *ShardPool, n int) []int {
+	out := make([]int, n)
+	p.Run(n, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = i * i // per-index slot: a pure function of the index
+		}
+	})
+	return out
+}
+
+func perWorkerArena(p *ShardPool, n int) int {
+	partials := make([]padded, p.Workers())
+	p.Run(n, func(worker, lo, hi int) {
+		sum := 0 // locals are phase-private
+		for i := lo; i < hi; i++ {
+			sum += i
+		}
+		partials[worker].V += sum // worker-indexed arena slot
+	})
+	total := 0
+	for i := range partials {
+		total += partials[i].V // the serial fold is outside the phase
+	}
+	return total
+}
+
+func sumIntPure(p *ShardPool, vals []int) int {
+	return p.SumInt(len(vals), func(lo, hi int) int {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += vals[i]
+		}
+		return s
+	})
+}
+
+// Run with a non-span callback shape is some other API, not a phase.
+func notAPhase(n int) {
+	r := runner{}
+	total := 0.0
+	r.Run(n, func(x float64) { total += x })
+}
+
+type runner struct{}
+
+func (runner) Run(n int, fn func(float64)) { fn(float64(n)) }

@@ -1,6 +1,7 @@
 package mapred
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/cluster"
@@ -53,5 +54,46 @@ func BenchmarkSmallJobUnderChurn(b *testing.B) {
 		if !done {
 			b.Fatal("job did not finish")
 		}
+	}
+}
+
+// BenchmarkHeartbeatScanWorkers measures the heartbeat's fanned
+// slot-availability scan — the per-tick parallel phase — over a fleet
+// well above tickShardMinTrackers, at growing pool widths. The partials
+// live on the JobTracker, so the workers=1 row must report 0 allocs/op
+// (CI gates it); wider rows add only the per-phase goroutine spawns.
+// Every width returns the identical count (the differential suite pins
+// the full-run consequence of that).
+func BenchmarkHeartbeatScanWorkers(b *testing.B) {
+	const volatiles = 4096
+	s := sim.New()
+	traces, err := trace.GenerateFleetOn(sim.NewShardPool(0), rng.New(1),
+		trace.DefaultOutageConfig(0.3), 1e5, volatiles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := cluster.New(s, cluster.Config{VolatileTraces: traces, DedicatedNodes: 64})
+	net := netmodel.New(s, c, netmodel.Config{NodeBandwidth: 1e6, DiskBandwidth: 4e6, StallTimeout: 30})
+	f, err := dfs.New(s, c, net, dfs.DefaultConfig(dfs.ModeMOON))
+	if err != nil {
+		b.Fatal(err)
+	}
+	jt, err := NewJobTracker(s, c, f, net, DefaultSchedConfig(PolicyMOON))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := 0
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			s.SetShardWorkers(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink += jt.countAvailableSlots()
+			}
+		})
+	}
+	if sink == 0 {
+		b.Fatal("no slots counted")
 	}
 }

@@ -24,6 +24,11 @@ func (jt *JobTracker) launch(t *Task, tt *TaskTracker, speculative bool) *Instan
 	if speculative {
 		t.specLaunches++
 		jt.inst.specIssued.IncAt(jt.sim.Now())
+		// Keep the tick's fleet-wide speculative count exact: the new
+		// attempt starts active (the tracker is live to receive it).
+		if jt.inTick && jt.specCached && jt.specMut == jt.tickMut {
+			jt.cachedSpec++
+		}
 	}
 	in := &Instance{
 		task:        t,
@@ -195,8 +200,12 @@ func (jt *JobTracker) startWrite(in *Instance) {
 }
 
 // detach removes a no-longer-running attempt from its tracker, its task's
-// live list, and the job's live-attempt count.
+// live list, and the job's live-attempt count. Detaching can re-pend a
+// task and shrink speculative counts, so it invalidates the tick caches
+// when it runs inside a heartbeat (via a launch's synchronous failure
+// paths).
 func (jt *JobTracker) detach(in *Instance) {
+	jt.taskStateChanged()
 	in.tracker.remove(in)
 	in.task.pruneInstance(in)
 	in.task.job.attempts.Live--
@@ -385,6 +394,7 @@ func (jt *JobTracker) invalidateMapOutput(mt *Task) {
 	if !mt.completed {
 		return
 	}
+	jt.taskStateChanged() // the map re-pends: tick caches are stale
 	j := mt.job
 	mt.completed = false
 	mt.invalidations++

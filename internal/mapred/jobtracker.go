@@ -48,6 +48,25 @@ type JobTracker struct {
 
 	collector *metrics.Collector
 	inst      jtInstruments
+
+	// Tick-scoped caches (see tickcache.go). Valid only between beginTick
+	// and endTick; mut-guarded entries are additionally discarded when
+	// tickMut moves (a detach or map-output invalidation ran mid-tick).
+	inTick       bool
+	tickMut      uint64
+	slotsCached  bool
+	cachedSlots  int
+	specCached   bool
+	specMut      uint64
+	cachedSpec   int
+	noPending    [2]bool // per TaskType: no job has a pending task
+	noPendingMut [2]uint64
+	noSpec       [2]bool // per TaskType: no tracker can get a backup copy
+	noSpecMut    [2]uint64
+	// Padded per-worker partials for the heartbeat's sharded slot scans,
+	// reused across ticks so the heartbeat never allocates.
+	slotParts []sim.Padded[int]
+	occParts  []sim.Padded[occTally]
 }
 
 // jtInstruments are the scheduler's metric handles: slot occupancy per
@@ -220,13 +239,16 @@ func (jt *JobTracker) trackerChanged(n *cluster.Node, available bool) {
 
 // availableSlots counts execution slots on live trackers (map + reduce),
 // the paper's base for both the speculative cap and the homestretch
-// threshold.
+// threshold. Within a tick the count is computed once — availability and
+// expiry only change through sim events, which never fire mid-tick — and
+// the scan itself fans across the shard pool on large fleets.
 func (jt *JobTracker) availableSlots() int {
-	n := 0
-	for _, tt := range jt.trackers {
-		if tt.node.Available() && !tt.expired {
-			n += tt.mapSlots + tt.reduceSlots
-		}
+	if jt.inTick && jt.slotsCached {
+		return jt.cachedSlots
+	}
+	n := jt.countAvailableSlots()
+	if jt.inTick {
+		jt.cachedSlots, jt.slotsCached = n, true
 	}
 	return n
 }
@@ -254,12 +276,23 @@ func (jt *JobTracker) speculativeActive(j *Job) int {
 // live job: MOON's SpecSlotFraction budget bounds the *fleet's* backup
 // capacity, so concurrent jobs share it rather than multiplying it. With
 // one job this equals speculativeActive of that job.
+//
+// Within a tick the scan runs once and the count is then maintained
+// incrementally: launch bumps it for each speculative start (the only way
+// it grows mid-tick), and any detach invalidates it via tickMut (the only
+// way it shrinks mid-tick).
 func (jt *JobTracker) speculativeActiveTotal() int {
+	if jt.inTick && jt.specCached && jt.specMut == jt.tickMut {
+		return jt.cachedSpec
+	}
 	n := 0
 	for _, j := range jt.queue.Jobs() {
 		if !j.Done() {
 			n += jt.speculativeActive(j)
 		}
+	}
+	if jt.inTick {
+		jt.cachedSpec, jt.specCached, jt.specMut = n, true, jt.tickMut
 	}
 	return n
 }
@@ -275,7 +308,16 @@ func (jt *JobTracker) jobOrder() []*Job { return jt.queue.Order() }
 
 // tick is the heartbeat: fill free slots with pending work, then with
 // speculative copies per policy, across every running job.
+//
+// Both passes short-circuit through the tick caches: once a pick proves no
+// further launch of its kind is possible on any tracker (a fact that stays
+// true until a mutation bumps tickMut), the remaining trackers are skipped.
+// The skipped iterations would have launched nothing and have no side
+// effects, so the short-circuit is unobservable — it just turns the idle
+// part of the heartbeat from O(trackers × tasks) into O(1).
 func (jt *JobTracker) tick() {
+	jt.beginTick()
+	defer jt.endTick()
 	jt.observeOccupancy()
 	if len(jt.jobOrder()) == 0 {
 		return
@@ -284,16 +326,21 @@ func (jt *JobTracker) tick() {
 	// trackers alike, in node order; each free slot is offered to the
 	// jobs in policy order.
 	for _, tt := range jt.trackers {
-		for tt.freeSlots(MapTask) > 0 {
+		if jt.pendingExhausted(MapTask) && jt.pendingExhausted(ReduceTask) {
+			break
+		}
+		for !jt.pendingExhausted(MapTask) && tt.freeSlots(MapTask) > 0 {
 			t := jt.pickPendingMapAny(tt)
 			if t == nil {
+				jt.markPendingExhausted(MapTask)
 				break
 			}
 			jt.launch(t, tt, false)
 		}
-		for tt.freeSlots(ReduceTask) > 0 {
+		for !jt.pendingExhausted(ReduceTask) && tt.freeSlots(ReduceTask) > 0 {
 			t := jt.pickPendingReduceAny()
 			if t == nil {
+				jt.markPendingExhausted(ReduceTask)
 				break
 			}
 			jt.launch(t, tt, false)
@@ -306,14 +353,17 @@ func (jt *JobTracker) tick() {
 		order = jt.hybridOrder
 	}
 	for _, tt := range order {
-		for tt.freeSlots(MapTask) > 0 {
+		if jt.specExhausted(MapTask) && jt.specExhausted(ReduceTask) {
+			break
+		}
+		for !jt.specExhausted(MapTask) && tt.freeSlots(MapTask) > 0 {
 			t := jt.pickSpeculativeAny(MapTask, tt)
 			if t == nil {
 				break
 			}
 			jt.launch(t, tt, true)
 		}
-		for tt.freeSlots(ReduceTask) > 0 {
+		for !jt.specExhausted(ReduceTask) && tt.freeSlots(ReduceTask) > 0 {
 			t := jt.pickSpeculativeAny(ReduceTask, tt)
 			if t == nil {
 				break
@@ -325,19 +375,13 @@ func (jt *JobTracker) tick() {
 
 // observeOccupancy samples slot occupancy and the running-job count into
 // the metrics bus once per heartbeat. It is a pure read of tracker state,
-// skipped entirely when no collector is attached.
+// skipped entirely when no collector is attached; the scan itself is the
+// heartbeat's sharded slot-evaluation phase (see countOccupancy).
 func (jt *JobTracker) observeOccupancy() {
 	if jt.inst.slotOcc == nil {
 		return
 	}
-	total, used := 0, 0
-	for _, tt := range jt.trackers {
-		if !tt.node.Available() || tt.expired {
-			continue
-		}
-		total += tt.mapSlots + tt.reduceSlots
-		used += len(tt.running)
-	}
+	total, used := jt.countOccupancy()
 	now := jt.sim.Now()
 	if total > 0 {
 		jt.inst.slotOcc.Observe(now, float64(used)/float64(total))
@@ -369,15 +413,28 @@ func (jt *JobTracker) pickPendingReduceAny() *Task {
 // pickSpeculativeAny offers a speculative slot to each job in policy
 // order. The fleet-wide speculative count is computed once per offer (it
 // only changes when a launch ends the offer) rather than once per job.
+//
+// When every job declines for tracker-independent reasons (global cap hit,
+// precondition failed, empty candidate bases), the nil is recorded in the
+// tick cache: launches only shrink candidate sets within a tick, so no
+// later tracker could have received a copy either, and the rest of pass 2
+// short-circuits. A nil caused by a tracker-local filter (the task already
+// runs here) is never recorded — another tracker may still qualify.
 func (jt *JobTracker) pickSpeculativeAny(typ TaskType, tt *TaskTracker) *Task {
 	specActive := -1
 	if jt.cfg.Policy != PolicyHadoop {
 		specActive = jt.speculativeActiveTotal()
 	}
+	certain := true
 	for _, j := range jt.jobOrder() {
-		if t := jt.pickSpeculative(j, typ, tt, specActive); t != nil {
+		t, c := jt.pickSpeculative(j, typ, tt, specActive)
+		if t != nil {
 			return t
 		}
+		certain = certain && c
+	}
+	if certain {
+		jt.markSpecExhausted(typ)
 	}
 	return nil
 }
@@ -441,8 +498,10 @@ func (jt *JobTracker) pickPendingReduce(j *Job) *Task {
 
 // pickSpeculative selects a task of the job for a backup copy under the
 // active policy. specActive is the precomputed fleet-wide active
-// speculative count (unused under Hadoop).
-func (jt *JobTracker) pickSpeculative(j *Job, typ TaskType, tt *TaskTracker, specActive int) *Task {
+// speculative count (unused under Hadoop). The second result reports, for
+// a nil pick, whether the refusal was tracker-independent — i.e. whether
+// offering any other tracker this tick would also come up empty.
+func (jt *JobTracker) pickSpeculative(j *Job, typ TaskType, tt *TaskTracker, specActive int) (*Task, bool) {
 	if jt.cfg.Policy == PolicyHadoop {
 		return jt.pickSpeculativeHadoop(j, typ, tt)
 	}
@@ -492,13 +551,16 @@ func (jt *JobTracker) isStraggler(t *Task, avg float64) bool {
 }
 
 // pickSpeculativeHadoop: stragglers in original scheduling order, one
-// backup copy per task, maps preferring local input.
-func (jt *JobTracker) pickSpeculativeHadoop(j *Job, typ TaskType, tt *TaskTracker) *Task {
+// backup copy per task, maps preferring local input. Neither the
+// precondition nor the candidate filter reads the offering tracker (input
+// locality is only a preference), so a nil here is always
+// tracker-independent.
+func (jt *JobTracker) pickSpeculativeHadoop(j *Job, typ TaskType, tt *TaskTracker) (*Task, bool) {
 	// Hadoop only speculates once every task of the type has been
 	// scheduled.
 	for _, t := range jt.tasksOf(j, typ) {
 		if !t.completed && t.attempts == 0 {
-			return nil
+			return nil, true
 		}
 	}
 	avg := jt.avgProgress(j, typ)
@@ -509,7 +571,7 @@ func (jt *JobTracker) pickSpeculativeHadoop(j *Job, typ TaskType, tt *TaskTracke
 		}
 	}
 	if len(candidates) == 0 {
-		return nil
+		return nil, true
 	}
 	sort.SliceStable(candidates, func(a, b int) bool {
 		return candidates[a].scheduledOrder < candidates[b].scheduledOrder
@@ -517,11 +579,11 @@ func (jt *JobTracker) pickSpeculativeHadoop(j *Job, typ TaskType, tt *TaskTracke
 	if typ == MapTask {
 		for _, t := range candidates {
 			if jt.isInputLocal(t, tt.node) {
-				return t
+				return t, true
 			}
 		}
 	}
-	return candidates[0]
+	return candidates[0], true
 }
 
 // pickSpeculativeMOON: frozen tasks first (any number of copies), then slow
@@ -531,10 +593,14 @@ func (jt *JobTracker) pickSpeculativeHadoop(j *Job, typ TaskType, tt *TaskTracke
 // budget in policy order rather than each claiming a full budget). Under
 // Hybrid, tasks that already have an active dedicated copy sort last and
 // skip the homestretch.
-func (jt *JobTracker) pickSpeculativeMOON(j *Job, typ TaskType, tt *TaskTracker, specActive int) *Task {
+func (jt *JobTracker) pickSpeculativeMOON(j *Job, typ TaskType, tt *TaskTracker, specActive int) (*Task, bool) {
 	if float64(specActive) >= jt.cfg.SpecSlotFraction*float64(jt.availableSlots()) {
-		return nil
+		return nil, true // the global cap binds every tracker alike
 	}
+	// blocked records a candidate that passed every tracker-independent
+	// predicate but already runs on this tracker: a nil pick is then not
+	// evidence that other trackers would also come up empty.
+	blocked := false
 	now := jt.sim.Now()
 	runningOnTT := func(t *Task) bool {
 		for _, in := range t.instances {
@@ -568,25 +634,35 @@ func (jt *JobTracker) pickSpeculativeMOON(j *Job, typ TaskType, tt *TaskTracker,
 	// count so progress can always be made.
 	var frozen []*Task
 	for _, t := range jt.tasksOf(j, typ) {
-		if t.frozen() && !runningOnTT(t) {
-			frozen = append(frozen, t)
+		if !t.frozen() {
+			continue
 		}
+		if runningOnTT(t) {
+			blocked = true
+			continue
+		}
+		frozen = append(frozen, t)
 	}
 	if t := pickBest(frozen); t != nil {
-		return t
+		return t, true
 	}
 
 	// 2) Slow tasks: Hadoop's criteria with the per-task cap.
 	avg := jt.avgProgress(j, typ)
 	var slow []*Task
 	for _, t := range jt.tasksOf(j, typ) {
-		if jt.isStraggler(t, avg) && !t.frozen() &&
-			t.runningInstances() < 1+jt.cfg.SpeculativeCap && !runningOnTT(t) {
-			slow = append(slow, t)
+		if !jt.isStraggler(t, avg) || t.frozen() ||
+			t.runningInstances() >= 1+jt.cfg.SpeculativeCap {
+			continue
 		}
+		if runningOnTT(t) {
+			blocked = true
+			continue
+		}
+		slow = append(slow, t)
 	}
 	if t := pickBest(slow); t != nil {
-		return t
+		return t, true
 	}
 
 	// 3) Homestretch: near job completion, keep >= R active copies of
@@ -594,19 +670,24 @@ func (jt *JobTracker) pickSpeculativeMOON(j *Job, typ TaskType, tt *TaskTracker,
 	if float64(j.remainingTasks()) < jt.cfg.HomestretchH/100*float64(jt.availableSlots()) {
 		var hs []*Task
 		for _, t := range jt.tasksOf(j, typ) {
-			if t.completed || t.runningInstances() == 0 || runningOnTT(t) {
+			if t.completed || t.runningInstances() == 0 {
 				continue
 			}
 			if jt.cfg.Hybrid && t.hasActiveDedicatedCopy() {
 				continue
 			}
-			if t.activeInstances() < jt.cfg.HomestretchR {
-				hs = append(hs, t)
+			if t.activeInstances() >= jt.cfg.HomestretchR {
+				continue
 			}
+			if runningOnTT(t) {
+				blocked = true
+				continue
+			}
+			hs = append(hs, t)
 		}
 		if t := pickBest(hs); t != nil {
-			return t
+			return t, true
 		}
 	}
-	return nil
+	return nil, !blocked
 }

@@ -137,6 +137,18 @@ type Network struct {
 	dueTouched []int
 	curInstant float64
 
+	// listEpoch counts every mutation that can invalidate a precomputed
+	// fair-share rate: flow-list membership changes and mid-pass endpoint
+	// marks. The sharded settle phase snapshots it before fanning out and
+	// falls back to live rate computation for any flow refreshed after it
+	// moves — see maybeShardSettle.
+	listEpoch uint64
+
+	// Reusable buffers for the sharded settle phase (see maybeShardSettle).
+	shardIDs   []int
+	shardOff   []int
+	shardRates []float64
+
 	// settleDepth counts settleNode frames on the stack. An endpoint
 	// change made while a pass is in progress (a done callback starting a
 	// replacement transfer mid-cascade) cannot defer: the enclosing pass
@@ -262,6 +274,7 @@ func (n *Network) Transfer(src, dst *cluster.Node, bytes float64, done func(erro
 		n.sim.After(0, "net.done0", func() { done(nil) })
 		return f
 	}
+	n.listEpoch++
 	if f.local() {
 		n.nodes[src.ID].local = append(n.nodes[src.ID].local, f)
 		n.markDirty(src.ID)
@@ -431,6 +444,7 @@ func (n *Network) addDue(id int) {
 // deferred work in accumulation order) and the node settles eagerly, exactly
 // as the per-change schedule would have.
 func (n *Network) markDirty(nodeID int) {
+	n.listEpoch++
 	n.syncInstant()
 	if n.settleDepth > 0 {
 		// Mid-pass change: the eager schedule ran its recompute right
@@ -468,10 +482,114 @@ func (n *Network) flush() bool {
 		return false
 	}
 	n.flushing = true
+	n.maybeShardSettle()
 	n.drainDirty()
 	n.dirty = n.dirty[:0]
 	n.flushing = false
 	return true
+}
+
+// Shard-phase thresholds: below these the spawn cost of a parallel phase
+// exceeds the rate arithmetic it saves, so small instants stay serial
+// (which is byte-identical anyway).
+const (
+	settleShardMinNodes = 64
+	settleShardMinFlows = 256
+)
+
+// maybeShardSettle runs the parallel half of a large settle pass: for every
+// node marked dirty at flush entry it precomputes each touching flow's
+// candidate fair-share rate across the shard pool, then applies the pass
+// serially in first-marked order. The phase is a pure read — rates are a
+// function of flow-list lengths and endpoint availability, neither of which
+// changes while it runs — and all mutation (settled-byte accumulation,
+// completion-event cancel/reschedule, metric observations) happens in the
+// serial apply, in exactly the order drainDirty uses. Precomputed rates are
+// trusted only while listEpoch is unmoved; any mid-apply cascade (a finish,
+// a new transfer from a done callback, an endpoint mark) bumps the epoch
+// and later refreshes fall back to live currentRate — the same pure
+// function — so the fanned pass is byte-identical to the serial one at any
+// worker count. Nodes the apply skips stay for drainDirty, which the caller
+// runs right after.
+func (n *Network) maybeShardSettle() {
+	pool := n.sim.Shards()
+	if pool.Serial() || len(n.dirty) < settleShardMinNodes {
+		return
+	}
+	// Size the batch: marked nodes at flush entry, and one rate slot per
+	// flow touching them (remote then local, the settleNode order).
+	ids := n.shardIDs[:0]
+	off := n.shardOff[:0]
+	flows := 0
+	for _, id := range n.dirty {
+		if !n.inDirty[id] {
+			continue
+		}
+		st := n.nodes[id]
+		ids = append(ids, id)
+		off = append(off, flows)
+		flows += len(st.remote) + len(st.local)
+	}
+	n.shardIDs, n.shardOff = ids, off
+	if flows < settleShardMinFlows {
+		return
+	}
+	if cap(n.shardRates) < flows {
+		n.shardRates = make([]float64, flows)
+	}
+	rates := n.shardRates[:flows]
+	epoch := n.listEpoch
+	pool.Run(len(ids), func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			st := n.nodes[ids[k]]
+			idx := off[k]
+			for _, f := range st.remote {
+				rates[idx] = n.currentRate(f)
+				idx++
+			}
+			for _, f := range st.local {
+				rates[idx] = n.currentRate(f)
+				idx++
+			}
+		}
+	})
+	// Serial apply in first-marked order, flows in list order — the exact
+	// accumulation and (at, seq) consumption sequence of the serial drain.
+	for k, id := range ids {
+		if !n.inDirty[id] {
+			continue
+		}
+		n.inDirty[id] = false
+		n.settleNodeRated(id, rates[off[k]:], epoch)
+	}
+}
+
+// settleNodeRated is settleNode with precomputed candidate rates, valid
+// while the network's listEpoch still equals epoch. A stale epoch at entry
+// means the node's flow lists no longer match the rate layout, so the plain
+// live path runs instead.
+func (n *Network) settleNodeRated(nodeID int, rates []float64, epoch uint64) {
+	if n.listEpoch != epoch {
+		n.settleNode(nodeID)
+		return
+	}
+	st := n.nodes[nodeID]
+	buf := n.takeScratch()
+	buf = append(buf, st.remote...)
+	buf = append(buf, st.local...)
+	n.settleDepth++
+	for j, f := range buf {
+		if n.listEpoch == epoch {
+			n.refreshRated(f, rates[j])
+		} else {
+			// A cascade invalidated the precomputed rates; the snapshot
+			// still matches the phase-time lists, so positions stay
+			// aligned, but the values must be recomputed live.
+			n.refresh(f)
+		}
+	}
+	n.settleDepth--
+	n.putScratch(buf)
 }
 
 // settleNode resettles and reschedules every flow touching the node.
@@ -495,6 +613,32 @@ func (n *Network) refresh(f *Flow) {
 	}
 	n.settle(f)
 	f.rate = n.currentRate(f)
+	n.sim.Cancel(f.completion)
+	f.completion = sim.Event{}
+	n.unindexCompletion(f)
+	if f.remaining <= 1e-6 {
+		n.finish(f, nil)
+		return
+	}
+	if f.rate > 0 {
+		d := f.remaining / f.rate
+		f.completion = n.sim.After(d, "net.complete", func() {
+			n.finish(f, nil)
+		})
+		n.indexCompletion(f, n.sim.Now()+d)
+	}
+}
+
+// refreshRated is refresh with the rate supplied by the parallel phase
+// instead of recomputed; the caller guarantees rate == currentRate(f) (the
+// listEpoch guard). Everything else — the settle, the cancel/reschedule and
+// its (at, seq) consumption, the completion indexing — is the serial path.
+func (n *Network) refreshRated(f *Flow, rate float64) {
+	if f.finished {
+		return
+	}
+	n.settle(f)
+	f.rate = rate
 	n.sim.Cancel(f.completion)
 	f.completion = sim.Event{}
 	n.unindexCompletion(f)
@@ -551,6 +695,7 @@ func (n *Network) finish(f *Flow, err error) {
 		return
 	}
 	n.settle(f)
+	n.listEpoch++
 	f.finished = true
 	if err == ErrStalled {
 		n.mStalls.IncAt(n.sim.Now())

@@ -22,6 +22,7 @@ func Builtins() []*Spec {
 		weightedSkew(),
 		expirySweep(),
 		scaleSweep(),
+		scale100k(),
 		liveMix(),
 		chaosLive(),
 	}
@@ -193,6 +194,49 @@ func scaleSweep() *Spec {
 					mk("132-nodes", 120, 12),
 					mk("264-nodes", 240, 24),
 					mk("528-nodes", 480, 48),
+				},
+			},
+		}},
+	}
+}
+
+// scale100k is the intra-run sharding showcase: ONE simulation spanning a
+// 100,000-node fleet through 24 hours of churn (≈2 million outages), with
+// an hourly stream of sleep-sort jobs keeping the scheduler under load the
+// whole day. Parallelism stays at 1 — this is a single big run, so the
+// shard pool (shard_workers 0 = every core) is where the cores go, the
+// inverse of the many-small-runs sweeps. Any worker count is
+// byte-identical; the knob only moves wall-clock. BENCH_10.json records
+// the measured wall-clock of this scenario on the CI runner.
+func scale100k() *Spec {
+	return &Spec{
+		Schema:      Schema,
+		Name:        "scale-100k",
+		Description: "One sharded run: 100k-node fleet, 24h of churn, hourly sleep-sort stream, MOON-Hybrid (shard pool machine-wide).",
+		Sweep: SweepSpec{
+			Seeds:       []uint64{1},
+			Rates:       []float64{0.1},
+			Parallelism: 1,
+		},
+		Experiments: []Experiment{{
+			Custom: &CustomExperiment{
+				Title: "100k nodes x 24h (sleep-sort hourly, MOON-Hybrid)",
+				Cluster: &ClusterSpec{
+					Volatile:       intp(99000),
+					Dedicated:      intp(1000),
+					HorizonSeconds: 24 * 3600,
+				},
+				Workload: WorkloadSpec{
+					App: "sort", Sleep: true,
+					// The paper's 66-node testbed shape (118 reduces),
+					// pinned so the fleet scales while the workload
+					// doesn't — unpinned, sort's fleet-derived fan-out
+					// would make every job a 180k-reduce monster.
+					ReduceSlots: intp(132),
+					Jobs:        24, Arrivals: "staggered", IntervalSeconds: 3600,
+				},
+				Variants: []VariantSpec{
+					{Label: "100k-nodes", Preset: "moon-hybrid"},
 				},
 			},
 		}},

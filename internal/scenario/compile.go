@@ -78,6 +78,11 @@ func Compile(s *Spec) (*Plan, error) {
 		var err error
 		if d.Execution == "live" {
 			run, err = compileLive(&d.Experiments[i], d.Live)
+			if err == nil {
+				// The sweep-level shard knob also bounds each live cell's
+				// trace-generation pool.
+				run.Live.Config.ShardWorkers = d.Sweep.ShardWorkers
+			}
 		} else {
 			run, err = compileExperiment(&d.Experiments[i], &d)
 		}
@@ -627,7 +632,11 @@ func buildWorkload(ws *WorkloadSpec, v *VariantSpec, cl *ClusterSpec) (workload.
 	var w workload.Spec
 	switch ws.App {
 	case "sort":
-		w = workload.Sort(2 * (volatiles + dedicated))
+		slots := 2 * (volatiles + dedicated)
+		if ws.ReduceSlots != nil {
+			slots = *ws.ReduceSlots
+		}
+		w = workload.Sort(slots)
 	case "wordcount":
 		w = workload.WordCount()
 	default:

@@ -19,6 +19,7 @@ type Flags struct {
 	Scale         int
 	Rates         []float64
 	Parallel      int
+	ShardWorkers  int    // intra-run worker pool (0 = all cores, 1 = serial)
 	Ablation      string // homestretch|speccap|hibernate|adaptive
 	Policy        string // fifo|fair|weighted|both
 	Jobs          int
@@ -88,10 +89,11 @@ func FromFlags(f Flags) (*Spec, error) {
 			Description: "Assembled from moonbench flags.",
 			Execution:   "live",
 			Sweep: SweepSpec{
-				Seeds:       f.Seeds,
-				Rates:       f.Rates,
-				Scale:       f.Scale,
-				Parallelism: f.Parallel,
+				Seeds:        f.Seeds,
+				Rates:        f.Rates,
+				Scale:        f.Scale,
+				Parallelism:  f.Parallel,
+				ShardWorkers: f.ShardWorkers,
 			},
 			Metrics: MetricsSpec{BucketSeconds: f.MetricsBucket},
 			Experiments: []Experiment{{
@@ -144,10 +146,11 @@ func FromFlags(f Flags) (*Spec, error) {
 		Name:        name,
 		Description: "Assembled from moonbench flags.",
 		Sweep: SweepSpec{
-			Seeds:       f.Seeds,
-			Rates:       f.Rates,
-			Scale:       f.Scale,
-			Parallelism: f.Parallel,
+			Seeds:        f.Seeds,
+			Rates:        f.Rates,
+			Scale:        f.Scale,
+			Parallelism:  f.Parallel,
+			ShardWorkers: f.ShardWorkers,
 		},
 		Metrics: MetricsSpec{BucketSeconds: f.MetricsBucket},
 	}

@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// shardDiffWorkers are the pool widths the differential suite compares.
+// Widths above GOMAXPROCS still spawn real goroutines, so a single-core
+// runner exercises the fanned merge path too.
+var shardDiffWorkers = []int{1, 2, 4, 8}
+
+// shardDiffSeeds: three independent churn seeds per scenario, so a
+// divergence that depends on the event mix (not just one lucky schedule)
+// cannot hide.
+var shardDiffSeeds = []uint64{1, 2, 3}
+
+// TestShardWorkersDifferential is the tentpole's acceptance gate: every
+// shipped simulator scenario, run at every shard-pool width, must produce
+// stdout byte-identical to the serial (workers=1) run — for each of three
+// seeds. Live scenarios are excluded (they run wall-clock goroutines; the
+// only sharded stage there, churn-trace generation, is pinned by the
+// equivalent differential test in internal/trace).
+func TestShardWorkersDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations at several worker counts")
+	}
+	paths, err := filepath.Glob(filepath.Join(scenariosDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no scenario files under %s", scenariosDir)
+	}
+	for _, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe, err := Parse(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probe.Execution == "live" {
+			continue
+		}
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			run := func(workers int) string {
+				// Re-parse per run: Compile and Execute must never see a
+				// spec another width's run has touched.
+				spec, err := Parse(bytes.NewReader(raw))
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec.Sweep.Seeds = shardDiffSeeds
+				if spec.Sweep.Scale < 32 {
+					spec.Sweep.Scale = 32 // bound the workload; scale is part of the compared bytes either way
+				}
+				spec.Sweep.ShardWorkers = workers
+				shrinkForDiff(spec)
+				plan, err := Compile(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var out bytes.Buffer
+				if err := plan.Execute(&out, nil); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return out.String()
+			}
+			serial := run(1)
+			if serial == "" {
+				t.Fatal("serial run produced no output")
+			}
+			for _, w := range shardDiffWorkers[1:] {
+				if got := run(w); got != serial {
+					t.Errorf("workers=%d diverged from serial:\n%s", w,
+						firstDiff(serial, got))
+				}
+			}
+		})
+	}
+}
+
+// shrinkForDiff bounds the day-long 100k-node showcase to test size while
+// keeping it ABOVE every shard gate (heartbeat fans at >= 2048 trackers,
+// fleet generation at >= 256 nodes), so the differential compares the
+// genuinely fanned paths, not their serial fallbacks. CI runs the full
+// scenario separately for the wall-clock cell in BENCH_10.json.
+func shrinkForDiff(spec *Spec) {
+	if spec.Name != "scale-100k" {
+		return
+	}
+	c := spec.Experiments[0].Custom
+	c.Cluster.Volatile = intp(4000)
+	c.Cluster.Dedicated = intp(100)
+	c.Cluster.HorizonSeconds = 2 * 3600
+	c.Workload.Jobs = 2
+	c.Workload.IntervalSeconds = 600
+}
+
+// firstDiff renders the first line where two outputs diverge.
+func firstDiff(a, b string) string {
+	al, bl := bytes.Split([]byte(a), []byte("\n")), bytes.Split([]byte(b), []byte("\n"))
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d:\n  serial:  %s\n  sharded: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("outputs differ in length: %d vs %d lines", len(al), len(bl))
+}

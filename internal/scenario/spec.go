@@ -88,6 +88,13 @@ type SweepSpec struct {
 	// Parallelism bounds concurrent simulations (0 = all cores,
 	// 1 = serial); results are identical at any setting.
 	Parallelism int `json:"parallelism,omitempty"`
+	// ShardWorkers bounds the worker pool *inside* each simulation, which
+	// the intra-run parallel phases (trace generation, netmodel settle
+	// sweeps, heartbeat slot scans) fan across (0 = all cores,
+	// 1 = serial). Results are byte-identical at any setting; big
+	// single-run scenarios want this high and Parallelism at 1, sweeps of
+	// many small runs the reverse.
+	ShardWorkers int `json:"shard_workers,omitempty"`
 }
 
 // LiveSpec shapes the live goroutine engine of an "execution": "live"
@@ -266,6 +273,13 @@ type WorkloadSpec struct {
 	// Sleep replays the app's task counts and measured durations with
 	// negligible data movement (the paper's scheduling-isolation app).
 	Sleep bool `json:"sleep,omitempty"`
+	// ReduceSlots fixes the slot count sort's reduce fan-out is derived
+	// from (NumReduces = 0.9 x slots) instead of the variant's fleet at
+	// 2 per node. Scale scenarios need it: without the pin, a 100k-node
+	// fleet turns every sort into a 180k-reduce job, and the point of a
+	// huge-fleet line is a fixed workload (the paper's 66-node testbed
+	// is reduce_slots 132). Sort only — wordcount's fan-out is fixed.
+	ReduceSlots *int `json:"reduce_slots,omitempty"`
 
 	// Jobs > 1 turns the workload into a multi-job stream; the fields
 	// below shape the arrival process.
@@ -463,6 +477,7 @@ func (s *Spec) harnessConfig() harness.Config {
 		Scale:         d.Sweep.Scale,
 		Rates:         d.Sweep.Rates,
 		Parallelism:   d.Sweep.Parallelism,
+		ShardWorkers:  d.Sweep.ShardWorkers,
 		MetricsBucket: d.Metrics.BucketSeconds,
 	}
 }
@@ -480,8 +495,8 @@ func (s *Spec) Validate() error {
 	if err := s.harnessConfig().Validate(); err != nil {
 		return err
 	}
-	if s.Sweep.Scale < 0 || s.Sweep.Parallelism < 0 {
-		return fmt.Errorf("scenario: negative sweep scale/parallelism")
+	if s.Sweep.Scale < 0 || s.Sweep.Parallelism < 0 || s.Sweep.ShardWorkers < 0 {
+		return fmt.Errorf("scenario: negative sweep scale/parallelism/shard_workers")
 	}
 	if s.Metrics.BucketSeconds < 0 || math.IsNaN(s.Metrics.BucketSeconds) {
 		return fmt.Errorf("scenario: metrics bucket %v", s.Metrics.BucketSeconds)
@@ -762,6 +777,14 @@ func (w *WorkloadSpec) validate() error {
 		}
 	} else if w.Arrivals != "" || w.IntervalSeconds != 0 || w.MixScale != 0 || w.ArrivalSeed != 0 {
 		return fmt.Errorf("arrival fields need jobs > 1")
+	}
+	if w.ReduceSlots != nil {
+		if *w.ReduceSlots <= 0 {
+			return fmt.Errorf("reduce_slots %d (want > 0)", *w.ReduceSlots)
+		}
+		if w.App != "sort" {
+			return fmt.Errorf("reduce_slots applies to sort only (app %q has fixed reduces)", w.App)
+		}
 	}
 	switch w.IntermediateClass {
 	case "", "opportunistic", "reliable":

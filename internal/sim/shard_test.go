@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"unsafe"
+)
+
+// TestShardPoolCoversEveryIndexOnce pins Run's span arithmetic: for any
+// (n, workers) the index range is covered exactly once by contiguous
+// spans, worker ids stay in [0, Workers()), and worker 0 owns the first
+// span (it runs inline on the caller's goroutine).
+func TestShardPoolCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 8, 16} {
+		for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 64, 1000, 1023} {
+			p := NewShardPool(workers)
+			hits := make([]int32, n)
+			firstWorker := int32(-1)
+			p.Run(n, func(worker, lo, hi int) {
+				if worker < 0 || worker >= p.Workers() {
+					t.Errorf("w=%d n=%d: worker id %d out of range", workers, n, worker)
+				}
+				if lo == 0 {
+					atomic.StoreInt32(&firstWorker, int32(worker))
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("w=%d n=%d: index %d covered %d times", workers, n, i, h)
+				}
+			}
+			if n > 0 && firstWorker != 0 {
+				t.Errorf("w=%d n=%d: first span ran on worker %d, want 0", workers, n, firstWorker)
+			}
+		}
+	}
+}
+
+// TestSumIntMatchesSerial pins the exact-reduction property: integer
+// partial sums folded in span order equal the serial left-to-right sum at
+// every worker count.
+func TestSumIntMatchesSerial(t *testing.T) {
+	const n = 4097
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = (i*2654435761 + 17) % 1000
+	}
+	want := 0
+	for _, v := range vals {
+		want += v
+	}
+	for _, workers := range []int{1, 2, 4, 8, 13} {
+		got := NewShardPool(workers).SumInt(n, func(lo, hi int) int {
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			return s
+		})
+		if got != want {
+			t.Errorf("workers=%d: SumInt = %d, want %d", workers, got, want)
+		}
+	}
+}
+
+// TestShardPoolWidths pins the width conventions: non-positive selects
+// GOMAXPROCS, a nil pool is serial, and Serial() means exactly one worker.
+func TestShardPoolWidths(t *testing.T) {
+	if got, want := NewShardPool(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("NewShardPool(0).Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := NewShardPool(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("NewShardPool(-3).Workers() = %d, want GOMAXPROCS", got)
+	}
+	var nilPool *ShardPool
+	if !nilPool.Serial() || nilPool.Workers() != 1 {
+		t.Error("nil pool must behave as a serial single worker")
+	}
+	if NewShardPool(1).Serial() != true || NewShardPool(2).Serial() != false {
+		t.Error("Serial() must report Workers() == 1")
+	}
+}
+
+// TestSimulationShardKnob pins the Simulation-level wiring: Shards()
+// defaults to a machine-wide pool and SetShardWorkers replaces it.
+func TestSimulationShardKnob(t *testing.T) {
+	s := New()
+	if s.Shards() == nil {
+		t.Fatal("Shards() returned nil")
+	}
+	s.SetShardWorkers(3)
+	if got := s.Shards().Workers(); got != 3 {
+		t.Errorf("after SetShardWorkers(3): Workers() = %d", got)
+	}
+	s.SetShardWorkers(1)
+	if !s.Shards().Serial() {
+		t.Error("SetShardWorkers(1) must force the serial path")
+	}
+}
+
+// TestPaddedSeparatesLines pins the arena padding: adjacent []Padded[T]
+// elements can never share a cache line.
+func TestPaddedSeparatesLines(t *testing.T) {
+	if sz := unsafe.Sizeof(Padded[int]{}); sz < CacheLine {
+		t.Errorf("Padded[int] is %d bytes, want >= %d", sz, CacheLine)
+	}
+	if sz := unsafe.Sizeof(Padded[[3]float64]{}); sz < CacheLine {
+		t.Errorf("Padded[[3]float64] is %d bytes, want >= %d", sz, CacheLine)
+	}
+}
+
+// TestShardPoolRaced hammers the phase contract under the race detector:
+// many repeated phases where workers write disjoint per-index slots and
+// their own padded partials, with the fold on the caller. Any violation of
+// the disjoint-writes contract inside ShardPool itself shows up as a race
+// report when this runs with -race (CI does).
+func TestShardPoolRaced(t *testing.T) {
+	const n = 10000
+	p := NewShardPool(8)
+	out := make([]int, n)
+	partials := make([]Padded[int], p.Workers())
+	for round := 0; round < 50; round++ {
+		for i := range partials {
+			partials[i].V = 0
+		}
+		p.Run(n, func(worker, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = i + round
+				partials[worker].V += i
+			}
+		})
+		total := 0
+		for i := range partials {
+			total += partials[i].V
+		}
+		if want := n * (n - 1) / 2; total != want {
+			t.Fatalf("round %d: partial fold = %d, want %d", round, total, want)
+		}
+		if out[n-1] != n-1+round {
+			t.Fatalf("round %d: per-index slot not written", round)
+		}
+	}
+}

@@ -13,8 +13,12 @@
 // the millions. Buckets are lazily sorted: inserts append to an unsorted
 // tail and the tail is only folded in when the bucket is actually examined
 // for a minimum, so burst scheduling (100k heartbeats for the same instant)
-// stays O(1) per event. The ordering contract is unchanged from the heap:
-// events pop in exact (at, seq) order.
+// stays O(1) per event. Events scheduled for exactly the current instant —
+// same-instant cascades, the dominant pattern under barriers and completion
+// chains — bypass the calendar through a FIFO now-queue (append order is
+// (at, seq) order there by construction), so draining an instant never
+// churns the bucket being popped. The ordering contract is unchanged from
+// the heap: events pop in exact (at, seq) order.
 //
 // The queue is also allocation-lean: event storage is pooled in a
 // per-Simulation free list and recycled after an event fires, so the hot
@@ -110,18 +114,18 @@ const (
 type calendar struct {
 	buckets [][]*node
 	sorted  []int // per-bucket watermark: len of the descending-sorted run
+	// tmin is the index of each bucket's unsorted-tail minimum, valid
+	// whenever the tail [sorted,len) is non-empty. Maintained on push and
+	// removal, it makes examining a bucket O(1) regardless of tail
+	// length, so tails only pay a sort when one of their own elements is
+	// actually removed — a bucket accumulating a large future batch is
+	// never re-sorted just because the year scan walked past it.
+	tmin    []int
 	mask    int64
 	width   float64
 	curSlot int64
 	stored  int   // events in buckets (hold not counted)
 	hold    *node // cached minimum, removed from its bucket
-
-	// gap is an EWMA of the spacing between consecutively popped events —
-	// the event density at the queue front that the bucket width adapts to
-	// on resize. popped/lastAt seed it.
-	gap    float64
-	popped bool
-	lastAt Time
 
 	scratch []*node // reusable collection buffer for resize
 }
@@ -129,6 +133,7 @@ type calendar struct {
 func (c *calendar) init() {
 	c.buckets = make([][]*node, minBuckets)
 	c.sorted = make([]int, minBuckets)
+	c.tmin = make([]int, minBuckets)
 	c.mask = minBuckets - 1
 	c.width = 1
 }
@@ -165,7 +170,11 @@ func (c *calendar) push(n *node) {
 		c.curSlot = slot
 	}
 	bi := int(slot & c.mask)
-	c.buckets[bi] = append(c.buckets[bi], n)
+	b := c.buckets[bi]
+	if len(b) == c.sorted[bi] || less(n, b[c.tmin[bi]]) {
+		c.tmin[bi] = len(b)
+	}
+	c.buckets[bi] = append(b, n)
 	c.stored++
 	if c.stored > 2*len(c.buckets) {
 		c.resize(2 * len(c.buckets))
@@ -210,9 +219,10 @@ func (c *calendar) take() *node {
 		}
 		idx, n := c.bucketMin(bi)
 		if c.slotOf(n.at) == slot {
-			c.removeAt(bi, idx)
+			c.removeAt(bi, c.prepareRemove(bi, idx))
 			c.curSlot = slot
-			return c.took(n)
+			c.stored--
+			return n
 		}
 	}
 	// Sparse region: nothing within a year of the cursor. Direct minimum
@@ -228,64 +238,86 @@ func (c *calendar) take() *node {
 			best, bbi, bidx = n, i, idx
 		}
 	}
-	c.removeAt(bbi, bidx)
+	c.removeAt(bbi, c.prepareRemove(bbi, bidx))
 	c.curSlot = c.slotOf(best.at)
-	return c.took(best)
-}
-
-// took finalizes a removal: bookkeeping for the width-adaptation EWMA.
-func (c *calendar) took(n *node) *node {
 	c.stored--
-	if c.popped {
-		c.gap += (n.at - c.lastAt - c.gap) / 16
-	}
-	c.popped = true
-	c.lastAt = n.at
-	return n
+	return best
 }
 
-// bucketMin locates the minimum of a non-empty bucket: the end of the
-// sorted run versus a linear scan of the unsorted tail. Oversized tails are
-// folded in first, so bursts pay one sort when their bucket is first
-// examined instead of keeping it ordered insert by insert.
+// bucketMin locates the minimum of a non-empty bucket in O(1): the end of
+// the descending run versus the tracked tail minimum. It never mutates the
+// bucket, so the year scan can examine arbitrarily many buckets (and the
+// sparse-region fallback all of them) without triggering sorts.
 func (c *calendar) bucketMin(bi int) (int, *node) {
 	b := c.buckets[bi]
 	s := c.sorted[bi]
-	if len(b)-s > tailMax {
-		c.sortBucket(bi)
-		b = c.buckets[bi]
-		s = len(b)
+	if s == len(b) {
+		return s - 1, b[s-1]
 	}
-	idx := -1
-	var best *node
-	if s > 0 {
-		idx, best = s-1, b[s-1]
+	t := c.tmin[bi]
+	if s > 0 && less(b[s-1], b[t]) {
+		return s - 1, b[s-1]
 	}
-	for j := s; j < len(b); j++ {
-		if best == nil || less(b[j], best) {
-			idx, best = j, b[j]
-		}
-	}
-	return idx, best
+	return t, b[t]
 }
 
-// sortBucket folds the unsorted tail into the descending run.
+// prepareRemove readies the removal of bucket bi's minimum at idx: pulling
+// an element out of a long unsorted tail would leave an O(tail) rescan for
+// the new tail minimum, so such tails are folded into the run first (one
+// sort per drained batch — bursts pay it when they actually start popping,
+// not while they accumulate). Returns the minimum's possibly-moved index.
+func (c *calendar) prepareRemove(bi, idx int) int {
+	if idx < c.sorted[bi] || len(c.buckets[bi])-c.sorted[bi] <= tailMax {
+		return idx
+	}
+	c.sortBucket(bi)
+	return len(c.buckets[bi]) - 1
+}
+
+// sortBucket folds the unsorted tail into the descending run: the tail is
+// sorted on its own and merged with the run, so the run — which can hold a
+// large drained-in-place batch — is only ever copied, never re-sorted.
 func (c *calendar) sortBucket(bi int) {
 	b := c.buckets[bi]
-	slices.SortFunc(b, func(a, x *node) int {
+	s := c.sorted[bi]
+	tail := b[s:]
+	slices.SortFunc(tail, func(a, x *node) int {
 		if less(a, x) {
 			return 1
 		}
 		return -1
 	})
+	if s > 0 && len(tail) > 0 {
+		// Merge the two descending runs through scratch, larger first.
+		m := c.scratch[:0]
+		i, j := 0, s
+		for i < s && j < len(b) {
+			if less(b[i], b[j]) {
+				m = append(m, b[j])
+				j++
+			} else {
+				m = append(m, b[i])
+				i++
+			}
+		}
+		m = append(m, b[i:s]...)
+		m = append(m, b[j:]...)
+		copy(b, m)
+		for k := range m {
+			m[k] = nil
+		}
+		c.scratch = m[:0]
+	}
 	c.sorted[bi] = len(b)
 }
 
-// removeAt removes one element from a bucket in O(1). The element is either
-// the end of the sorted run or inside the unsorted tail; the last element
-// backfills its position, landing in (or becoming) the tail.
+// removeAt removes the bucket minimum (as located by bucketMin, after
+// prepareRemove). The element is either the end of the sorted run or the
+// tail minimum of a short tail; the last element backfills its position,
+// landing in (or becoming) the tail.
 func (c *calendar) removeAt(bi, idx int) {
 	b := c.buckets[bi]
+	fromTail := idx >= c.sorted[bi]
 	if idx < c.sorted[bi] {
 		c.sorted[bi] = idx
 	}
@@ -296,12 +328,35 @@ func (c *calendar) removeAt(bi, idx int) {
 	if c.sorted[bi] > last {
 		c.sorted[bi] = last
 	}
+	s := c.sorted[bi]
+	if s >= last {
+		return // tail empty, tmin unused
+	}
+	if fromTail {
+		// The tail minimum left; rescan the (tailMax-bounded) remainder.
+		t := s
+		for j := s + 1; j < last; j++ {
+			if less(b[j], b[t]) {
+				t = j
+			}
+		}
+		c.tmin[bi] = t
+	} else if c.tmin[bi] == last {
+		// The backfilled element was the tail minimum; it now sits at idx.
+		c.tmin[bi] = idx
+	}
 }
 
 // resize rebuilds the calendar with nb buckets and a width re-derived from
-// the observed event spacing: ~3 average gaps per bucket (Brown's rule of
-// thumb), falling back to the stored span before any pops. O(n log n), but
-// only triggered by 2× occupancy crossings, so amortized O(1) per event.
+// the stored population: ~3 average gaps per bucket across the whole span
+// (Brown's rule of thumb applied globally). A global estimate is deliberate:
+// a front-density EWMA collapses under bursts of near-coincident events
+// (epsilon-spaced completions), shrinking buckets until the year scan walks
+// thousands of empty slots per pop. Span-based width keeps nb*width at or
+// above the occupied horizon — dense clusters simply land in shared buckets,
+// which bucketMin/sortBucket handle in O(1)/amortized-O(log) — so the scan
+// stays short. O(n log n), but only triggered by 2x occupancy crossings, so
+// amortized O(1) per event.
 func (c *calendar) resize(nb int) {
 	if nb < minBuckets {
 		nb = minBuckets
@@ -317,16 +372,17 @@ func (c *calendar) resize(nb int) {
 		return 1
 	})
 	w := c.width
-	if c.gap > 0 {
-		w = 3 * c.gap
-	} else if len(all) > 1 {
-		w = 3 * (all[len(all)-1].at - all[0].at) / float64(len(all))
+	if len(all) > 1 {
+		if span := all[len(all)-1].at - all[0].at; span > 0 {
+			w = 3 * span / float64(len(all))
+		}
 	}
 	if !(w > 1e-12) || math.IsInf(w, 1) {
 		w = 1
 	}
 	c.buckets = make([][]*node, nb)
 	c.sorted = make([]int, nb)
+	c.tmin = make([]int, nb)
 	c.mask = int64(nb - 1)
 	c.width = w
 	// Distribute in descending order so every bucket lands fully sorted.
@@ -358,6 +414,19 @@ type Simulation struct {
 	cal     calendar
 	free    []*node // retired nodes awaiting reuse
 	nextSeq uint64
+	// nowq holds events scheduled for exactly the current instant, FIFO.
+	// Same-instant cascades — a callback scheduling follow-up work at
+	// now, barriers flushing deferred settles, completion chains — are
+	// the simulator's hottest scheduling pattern, and their order needs
+	// no priority queue at all: every such event ties on at and carries
+	// a seq greater than any equal-time event already queued (those were
+	// pushed before the clock reached this instant), so append order IS
+	// (at, seq) order. Routing them here keeps the calendar's buckets
+	// free of the push-while-draining churn that forced repeated
+	// re-sorts of long sorted runs. nowq drains fully before the clock
+	// can advance, so it never holds events from a past instant.
+	nowq     []*node
+	nowqHead int
 	// fired counts events executed, for diagnostics and livelock guards.
 	fired uint64
 	// canceled counts events killed via Cancel before they could fire.
@@ -369,6 +438,10 @@ type Simulation struct {
 	// barriers run when the simulation is about to leave the current
 	// instant (see Barrier).
 	barriers []func() bool
+
+	// shards is the intra-run worker pool for parallel phases (see
+	// Shards); nil until first use or SetShardWorkers.
+	shards *ShardPool
 
 	// Instrument handles (nil without a collector; nil handles no-op, so
 	// the hot path stays allocation-free when metrics are off).
@@ -407,9 +480,13 @@ func (s *Simulation) Fired() uint64 { return s.fired }
 // Canceled returns the number of events canceled before firing.
 func (s *Simulation) Canceled() uint64 { return s.canceled }
 
+// queueLen counts stored events across the calendar and the now-queue,
+// canceled corpses included.
+func (s *Simulation) queueLen() int { return s.cal.len() + len(s.nowq) - s.nowqHead }
+
 // Pending returns the number of events currently queued to fire (canceled
 // events awaiting lazy removal are not counted).
-func (s *Simulation) Pending() int { return s.cal.len() - s.dead }
+func (s *Simulation) Pending() int { return s.queueLen() - s.dead }
 
 // --- node pool -------------------------------------------------------------
 
@@ -446,7 +523,11 @@ func (s *Simulation) Schedule(at Time, name string, fn func()) Event {
 	n.canceled = false
 	n.queued = true
 	s.nextSeq++
-	s.cal.push(n)
+	if at == s.now {
+		s.nowq = append(s.nowq, n)
+	} else {
+		s.cal.push(n)
+	}
 	return Event{n: n, gen: n.gen}
 }
 
@@ -471,7 +552,7 @@ func (s *Simulation) Cancel(e Event) {
 	s.canceled++
 	s.dead++
 	s.mCanceled.IncAt(s.now)
-	if s.dead > 64 && s.dead > s.cal.len()/2 {
+	if s.dead > 64 && s.dead > s.queueLen()/2 {
 		s.compact()
 	}
 }
@@ -505,7 +586,32 @@ func (s *Simulation) compact() {
 		}
 		c.buckets[i] = live
 		c.sorted[i] -= deadSorted
+		// Filtering shifted tail indices; re-derive the tail minimum.
+		if s := c.sorted[i]; s < len(live) {
+			t := s
+			for j := s + 1; j < len(live); j++ {
+				if less(live[j], live[t]) {
+					t = j
+				}
+			}
+			c.tmin[i] = t
+		}
 	}
+	// The now-queue can hold corpses too; filtering in place preserves
+	// its FIFO order.
+	liveNow := s.nowq[:0]
+	for j := s.nowqHead; j < len(s.nowq); j++ {
+		if n := s.nowq[j]; n.canceled {
+			s.retire(n)
+		} else {
+			liveNow = append(liveNow, n)
+		}
+	}
+	for j := len(liveNow); j < len(s.nowq); j++ {
+		s.nowq[j] = nil
+	}
+	s.nowq = liveNow
+	s.nowqHead = 0
 	s.dead = 0
 	s.mCompactions.Inc()
 }
@@ -554,19 +660,49 @@ func (s *Simulation) runBarriers() bool {
 	return did
 }
 
-// peek drains canceled events from the head of the queue — recycling their
-// storage — and returns the earliest live node, or nil if the queue is
-// empty. Step and RunUntil share this single draining path.
-func (s *Simulation) peek() *node {
-	for {
-		n := s.cal.min()
-		if n == nil || !n.canceled {
+// nowFront drains canceled events from the head of the now-queue —
+// recycling their storage — and returns its earliest live node, or nil.
+func (s *Simulation) nowFront() *node {
+	for s.nowqHead < len(s.nowq) {
+		n := s.nowq[s.nowqHead]
+		if !n.canceled {
 			return n
 		}
-		s.cal.pop()
+		s.nowq[s.nowqHead] = nil
+		s.nowqHead++
 		s.dead--
 		s.retire(n)
 	}
+	s.nowq = s.nowq[:0]
+	s.nowqHead = 0
+	return nil
+}
+
+// peek drains canceled events from the head of the queue — recycling their
+// storage — and returns the earliest live node, or nil if the queue is
+// empty. Step and RunUntil share this single draining path. Current-instant
+// events in the now-queue win ties against the calendar only by seq: an
+// equal-time calendar event predates the clock's arrival at this instant
+// and so always carries the smaller seq.
+func (s *Simulation) peek() *node {
+	var cn *node
+	for {
+		cn = s.cal.min()
+		if cn == nil || !cn.canceled {
+			break
+		}
+		s.cal.pop()
+		s.dead--
+		s.retire(cn)
+	}
+	nn := s.nowFront()
+	if nn == nil {
+		return cn
+	}
+	if cn == nil || less(nn, cn) {
+		return nn
+	}
+	return cn
 }
 
 // nextLive resolves the next event to fire, letting barriers flush deferred
@@ -588,9 +724,19 @@ func (s *Simulation) nextLive() *node {
 	}
 }
 
-// fire pops n (which must be the queue head) and executes it.
+// fire pops n (which must be the queue head, as returned by peek) and
+// executes it.
 func (s *Simulation) fire(n *node) {
-	s.cal.pop()
+	if s.nowqHead < len(s.nowq) && s.nowq[s.nowqHead] == n {
+		s.nowq[s.nowqHead] = nil
+		s.nowqHead++
+		if s.nowqHead == len(s.nowq) {
+			s.nowq = s.nowq[:0]
+			s.nowqHead = 0
+		}
+	} else {
+		s.cal.pop()
+	}
 	if n.at < s.now {
 		panic(fmt.Sprintf("sim: time went backwards: %v -> %v (%s)", s.now, n.at, n.name))
 	}
@@ -598,7 +744,7 @@ func (s *Simulation) fire(n *node) {
 	s.fired++
 	n.queued = false
 	s.mFired.IncAt(n.at)
-	s.mQueueDepth.Observe(n.at, float64(s.cal.len()-s.dead))
+	s.mQueueDepth.Observe(n.at, float64(s.queueLen()-s.dead))
 	n.fn()
 	// Retire only after the callback: a handle held by the callback itself
 	// (or by code it calls synchronously) stays valid while it runs.

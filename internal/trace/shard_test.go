@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// TestGenerateFleetOnWidthsIdentical is the live path's differential
+// gate: fleet generation fanned over any shard-pool width must equal the
+// serial fleet exactly — the pre-split streams make each node's trace a
+// pure function of its index. Fleet sizes straddle fleetShardMin so both
+// the inline and the fanned branch are compared.
+func TestGenerateFleetOnWidthsIdentical(t *testing.T) {
+	const horizon = 24 * 3600
+	for _, nodes := range []int{fleetShardMin - 1, fleetShardMin, 600} {
+		for _, seed := range []uint64{1, 2, 3} {
+			cfg := DefaultOutageConfig(0.3)
+			want, err := GenerateFleet(rng.New(seed), cfg, horizon, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{1, 2, 4, 8} {
+				got, err := GenerateFleetOn(sim.NewShardPool(w), rng.New(seed), cfg, horizon, nodes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("nodes=%d seed=%d workers=%d: fleet diverged from serial", nodes, seed, w)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateCorrelatedFleetOnWidthsIdentical pins the correlated
+// overlay the same way: per-group session streams are split serially, so
+// the group overlay is a pure function of the group index at any width.
+func TestGenerateCorrelatedFleetOnWidthsIdentical(t *testing.T) {
+	const horizon = 8 * 3600
+	for _, seed := range []uint64{1, 2, 3} {
+		want, err := GenerateCorrelatedFleet(rng.New(seed), DefaultCorrelatedConfig(), horizon, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 2, 4, 8} {
+			got, err := GenerateCorrelatedFleetOn(sim.NewShardPool(w), rng.New(seed), DefaultCorrelatedConfig(), horizon, 300)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("seed=%d workers=%d: correlated fleet diverged from serial", seed, w)
+			}
+		}
+	}
+}
